@@ -1,0 +1,94 @@
+package mellow_test
+
+import (
+	"io"
+	"testing"
+
+	"mellow"
+)
+
+// The benchmarks below regenerate each of the paper's tables and figures
+// at reduced run lengths (DESIGN.md §5 maps each to its experiment).
+// One benchmark iteration = one complete experiment. For full-length
+// paper-scale output use `go run ./cmd/mellowbench -exp <id>`.
+
+// benchConfig keeps one iteration around a second.
+func benchConfig() mellow.Config {
+	cfg := mellow.DefaultConfig()
+	cfg.Run.WarmupInstructions = 500_000
+	cfg.Run.DetailedInstructions = 1_500_000
+	return cfg
+}
+
+// benchSuite restricts sweeps to three representative workloads (a
+// stream, the heaviest writer, and a random-update workload).
+var benchSuite = []string{"stream", "lbm", "gups"}
+
+func runExperiment(b *testing.B, id string, workloads ...string) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		// A fresh seed per iteration defeats the sweep memoiser, so every
+		// iteration performs real simulation work.
+		cfg.Run.Seed = uint64(i + 1)
+		if err := mellow.RunExperiment(id, cfg, io.Discard, workloads...); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "tab4", benchSuite...) }
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "tab6") }
+func BenchmarkFig1(b *testing.B)   { runExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)   { runExperiment(b, "fig2", benchSuite...) }
+func BenchmarkFig3(b *testing.B)   { runExperiment(b, "fig3", benchSuite...) }
+func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10", benchSuite...) }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11", benchSuite...) }
+func BenchmarkFig12(b *testing.B)  { runExperiment(b, "fig12", benchSuite...) }
+func BenchmarkFig13(b *testing.B)  { runExperiment(b, "fig13", benchSuite...) }
+func BenchmarkFig14(b *testing.B)  { runExperiment(b, "fig14", benchSuite...) }
+func BenchmarkFig15(b *testing.B)  { runExperiment(b, "fig15", benchSuite...) }
+func BenchmarkFig16(b *testing.B)  { runExperiment(b, "fig16", benchSuite...) }
+func BenchmarkFig17(b *testing.B)  { runExperiment(b, "fig17", "stream", "gups") }
+func BenchmarkFig18(b *testing.B)  { runExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { runExperiment(b, "fig19", benchSuite...) }
+
+// Extension and ablation benches (features beyond the paper's figures).
+func BenchmarkExt1(b *testing.B) { runExperiment(b, "ext1", "stream", "gups") }
+func BenchmarkExt2(b *testing.B) { runExperiment(b, "ext2", "stream", "gups") }
+func BenchmarkExt3(b *testing.B) { runExperiment(b, "ext3", "stream") }
+func BenchmarkExt4(b *testing.B) { runExperiment(b, "ext4", "stream", "gups") }
+func BenchmarkExt5(b *testing.B) { runExperiment(b, "ext5") }
+func BenchmarkExt7(b *testing.B) { runExperiment(b, "ext7", "stream", "gups") }
+func BenchmarkExt6Mix(b *testing.B) {
+	cfg := benchConfig()
+	spec, err := mellow.ParsePolicy("BE-Mellow+SC")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Run.Seed = uint64(i + 1)
+		if _, err := mellow.RunMix(cfg, spec, "stream", "gups"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulation measures raw simulator throughput: one full
+// (workload, policy) run per iteration, reported per simulated
+// instruction.
+func BenchmarkSimulation(b *testing.B) {
+	cfg := benchConfig()
+	spec, err := mellow.ParsePolicy("BE-Mellow+SC+WQ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := mellow.Run(cfg, spec, "GemsFDTD")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Instructions), "instrs/op")
+	}
+}

@@ -1,0 +1,74 @@
+// Command mellowbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mellowbench -exp fig11              # one figure, full settings
+//	mellowbench -exp all                # everything (minutes)
+//	mellowbench -exp fig10 -quick       # scaled-down run lengths
+//	mellowbench -exp fig2 -workloads stream,lbm,gups
+//	mellowbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mellow"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", `experiment id ("fig11", "tab4", ...) or "all"`)
+		quick     = flag.Bool("quick", false, "scale run lengths down ~10x for a fast look")
+		workloads = flag.String("workloads", "", "comma-separated subset of the suite")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		list      = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range mellow.Experiments() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := mellow.DefaultConfig()
+	cfg.Run.Seed = *seed
+	if *quick {
+		cfg.Run.WarmupInstructions = 1_000_000
+		cfg.Run.DetailedInstructions = 3_000_000
+	}
+	var suite []string
+	if *workloads != "" {
+		suite = strings.Split(*workloads, ",")
+	}
+
+	var todo []mellow.Experiment
+	if *exp == "all" {
+		todo = mellow.Experiments()
+	} else {
+		e, err := mellow.ExperimentByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mellowbench:", err)
+			os.Exit(1)
+		}
+		todo = []mellow.Experiment{e}
+	}
+
+	for i, e := range todo {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		opts := mellow.ExperimentOptions{Cfg: cfg, Out: os.Stdout, Workloads: suite}
+		if err := e.Run(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "mellowbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

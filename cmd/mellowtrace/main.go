@@ -1,0 +1,130 @@
+// Command mellowtrace inspects the synthetic workload generators: it
+// dumps raw trace records or summarises a workload's memory behaviour
+// (instruction mix, read/write split, dependence, working set). Useful
+// when calibrating generators against Table IV or debugging a pattern.
+//
+// Usage:
+//
+//	mellowtrace -workload lbm -summary -ops 2000000
+//	mellowtrace -workload gups -dump -ops 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mellow/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "stream", "workload name")
+		ops      = flag.Uint64("ops", 1_000_000, "number of trace ops to generate")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		dump     = flag.Bool("dump", false, "print raw records instead of a summary")
+		export   = flag.String("export", "", "write records to a trace file (replayable by mellowsim -trace)")
+		list     = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range trace.All() {
+			fmt.Printf("%-12s target MPKI %.2f\n", w.Name, w.TargetMPKI)
+		}
+		return
+	}
+	w, err := trace.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mellowtrace:", err)
+		os.Exit(1)
+	}
+	g := w.New(*seed)
+
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mellowtrace:", err)
+			os.Exit(1)
+		}
+		if err := trace.Record(f, g, int(*ops)); err != nil {
+			fmt.Fprintln(os.Stderr, "mellowtrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mellowtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", *ops, *export)
+		return
+	}
+
+	if *dump {
+		fmt.Println("gap  addr         kind  dep")
+		for i := uint64(0); i < *ops; i++ {
+			op := g.Next()
+			kind := "R"
+			if op.Write {
+				kind = "W"
+			}
+			dep := ""
+			if op.Dep {
+				dep = "dep"
+			}
+			fmt.Printf("%-4d %#012x %-5s %s\n", op.Gap, op.Addr, kind, dep)
+		}
+		return
+	}
+
+	var (
+		instr, reads, writes, deps uint64
+		gapSum                     uint64
+		lines                      = map[uint64]struct{}{}
+		minAddr                    = ^uint64(0)
+		maxAddr                    uint64
+	)
+	for i := uint64(0); i < *ops; i++ {
+		op := g.Next()
+		instr += uint64(op.Gap) + 1
+		gapSum += uint64(op.Gap)
+		if op.Write {
+			writes++
+		} else {
+			reads++
+		}
+		if op.Dep {
+			deps++
+		}
+		lines[op.Addr>>6] = struct{}{}
+		if op.Addr < minAddr {
+			minAddr = op.Addr
+		}
+		if op.Addr > maxAddr {
+			maxAddr = op.Addr
+		}
+	}
+	total := reads + writes
+	fmt.Printf("workload          %s (target MPKI %.2f)\n", w.Name, w.TargetMPKI)
+	fmt.Printf("ops               %d (%d instructions)\n", total, instr)
+	fmt.Printf("memory fraction   %.1f%% of instructions\n", 100*float64(total)/float64(instr))
+	fmt.Printf("mean gap          %.2f instructions\n", float64(gapSum)/float64(total))
+	fmt.Printf("reads / writes    %.1f%% / %.1f%%\n",
+		100*float64(reads)/float64(total), 100*float64(writes)/float64(total))
+	fmt.Printf("dependent loads   %.1f%%\n", 100*float64(deps)/float64(total))
+	fmt.Printf("touched lines     %d (%.1f MB)\n", len(lines), float64(len(lines))*64/1e6)
+	fmt.Printf("address range     %#x - %#x\n", minAddr, maxAddr)
+	fmt.Printf("bank spread       %s\n", bankSpread(lines))
+}
+
+// bankSpread summarises how touched lines distribute over 16 banks.
+func bankSpread(lines map[uint64]struct{}) string {
+	var counts [16]int
+	for l := range lines {
+		counts[l&15]++
+	}
+	sorted := append([]int(nil), counts[:]...)
+	sort.Ints(sorted)
+	return fmt.Sprintf("min %d / median %d / max %d lines per bank",
+		sorted[0], sorted[8], sorted[15])
+}

@@ -1,0 +1,28 @@
+// Package mellow is a full reproduction of "Mellow Writes: Extending
+// Lifetime in Resistive Memories through Selective Slow Write Backs"
+// (Zhang et al., ISCA 2016) as a Go library.
+//
+// Resistive memories (ReRAM, PCM) trade write speed for endurance: a
+// pulse stretched by N× wears the cell N^ExpoFactor times less. The
+// paper — and this library — exploits idle memory-bank time to issue
+// such slow writes without hurting performance, using three mechanisms:
+// Bank-Aware Mellow Writes, Eager Mellow Writes, and a Wear Quota that
+// guarantees a minimum lifetime.
+//
+// The package is a facade over a complete simulation stack built from
+// scratch (see DESIGN.md): a discrete-event kernel, an interval OoO core
+// model, a three-level cache hierarchy with the eager-write-back
+// profiler, an NVMain-class resistive-memory controller with read/write/
+// eager queues, write drains and write cancellation, Start-Gap wear
+// leveling, and an nvsim-calibrated energy model.
+//
+// Quick start:
+//
+//	cfg := mellow.DefaultConfig()
+//	spec, _ := mellow.ParsePolicy("BE-Mellow+SC+WQ")
+//	res, err := mellow.Run(cfg, spec, "stream")
+//	fmt.Println(res.IPC, res.LifetimeYears())
+//
+// Every table and figure of the paper's evaluation can be regenerated
+// through Experiments (or the mellowbench command).
+package mellow

@@ -1,0 +1,52 @@
+// Policycompare reproduces the core message of Figures 10 and 11 on one
+// workload: sweep the paper's policy line-up and show the
+// performance/lifetime trade-off each point makes.
+//
+// Run with a workload argument to try others, e.g.:
+//
+//	go run ./examples/policycompare lbm
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mellow"
+)
+
+func main() {
+	workload := "GemsFDTD"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	cfg := mellow.DefaultConfig()
+	cfg.Run.WarmupInstructions = 1_000_000
+	cfg.Run.DetailedInstructions = 4_000_000
+
+	var base mellow.Result
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "policy\tIPC\tvs Norm\tlifetime (y)\tvs Norm\tslow writes\n")
+	for i, spec := range mellow.Policies() {
+		res, err := mellow.Run(cfg, spec, workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = res
+		}
+		slowShare := 0.0
+		if tw := res.Mem.TotalWrites(); tw > 0 {
+			slowShare = float64(res.Mem.SlowWrites()) / float64(tw)
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.2fx\t%.2f\t%.2fx\t%.0f%%\n",
+			res.Policy, res.IPC, res.IPC/base.IPC,
+			res.LifetimeYears(), res.LifetimeYears()/base.LifetimeYears(),
+			slowShare*100)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

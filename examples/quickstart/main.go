@@ -1,0 +1,34 @@
+// Quickstart: simulate one workload under the paper's best policy and
+// print the headline metrics — performance (IPC) and memory lifetime.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mellow"
+)
+
+func main() {
+	cfg := mellow.DefaultConfig()
+	// Scale the run down so the example finishes in a couple of seconds;
+	// drop these two lines for full-length (paper-scale) runs.
+	cfg.Run.WarmupInstructions = 1_000_000
+	cfg.Run.DetailedInstructions = 4_000_000
+
+	spec, err := mellow.ParsePolicy("BE-Mellow+SC+WQ")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := mellow.Run(cfg, spec, "stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s   policy: %s\n", res.Workload, res.Policy)
+	fmt.Printf("IPC:              %.3f\n", res.IPC)
+	fmt.Printf("memory lifetime:  %.1f years\n", res.LifetimeYears())
+	fmt.Printf("slow writes:      %d of %d\n", res.Mem.SlowWrites(), res.Mem.TotalWrites())
+	fmt.Printf("eager writebacks: %d\n", res.Mem.EagerDone)
+}

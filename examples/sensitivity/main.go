@@ -1,0 +1,45 @@
+// Sensitivity explores Equation 2's ExpoFactor (Figure 17): how much of
+// Mellow Writes' lifetime benefit survives if slowing a write pays off
+// only linearly (Expo = 1) instead of quadratically or cubically?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mellow"
+)
+
+func main() {
+	cfg := mellow.DefaultConfig()
+	cfg.Run.WarmupInstructions = 1_000_000
+	cfg.Run.DetailedInstructions = 4_000_000
+
+	const workload = "GemsFDTD"
+	spec, err := mellow.ParsePolicy("BE-Mellow+SC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm, err := mellow.ParsePolicy("Norm")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s, policy: %s\n\n", workload, spec.Name)
+	fmt.Println("ExpoFactor  lifetime (y)  vs Norm")
+	for _, expo := range []float64{1.0, 1.5, 2.0, 2.5, 3.0} {
+		c := cfg
+		c.Memory.Device.ExpoFactor = expo
+		res, err := mellow.Run(c, spec, workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline, err := mellow.Run(c, norm, workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %.1f        %7.2f     %.2fx\n",
+			expo, res.LifetimeYears(), res.LifetimeYears()/baseline.LifetimeYears())
+	}
+	fmt.Println("\nEven at Expo=1.0 the mechanism retains a lifetime advantage (§VI-G).")
+}

@@ -1,0 +1,64 @@
+// Tracereplay shows the bring-your-own-trace path: record a trace from
+// a built-in generator (any tool can produce the same textual format),
+// then replay it through the full memory system under two policies.
+//
+// The format is one record per line: "<gap> <hex-address> <R|W>[!]",
+// where gap counts non-memory instructions and '!' marks a dependent
+// load.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mellow"
+)
+
+func main() {
+	path := filepath.Join(os.TempDir(), "mellow-example.trace")
+
+	// 1. Record: 200k ops of the GUPS random-update kernel.
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mellow.RecordTrace(f, "gups", 1, 200_000); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %s\n\n", path)
+
+	// 2. Replay under two policies.
+	cfg := mellow.DefaultConfig()
+	cfg.Run.WarmupInstructions = 500_000
+	cfg.Run.DetailedInstructions = 2_000_000
+
+	for _, name := range []string{"Norm", "BE-Mellow+SC"} {
+		spec, err := mellow.ParsePolicy(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := mellow.WorkloadFromReader("gups-trace", in)
+		in.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mellow.RunWorkload(cfg, spec, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s IPC %.3f   lifetime %6.2f y   slow writes %d   wasted eager %d\n",
+			name, res.IPC, res.LifetimeYears(), res.Mem.SlowWrites(), res.Cache.WastedEager)
+	}
+	fmt.Println("\nNote: a short cyclic trace re-touches every line each cycle, so eager")
+	fmt.Println("write-backs are often premature here — watch the wasted-eager count.")
+	fmt.Println("Real traces (or the built-in generators) give eager writes room to help.")
+}

@@ -1,0 +1,3 @@
+module mellow
+
+go 1.22

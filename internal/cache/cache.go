@@ -1,0 +1,208 @@
+// Package cache implements the three-level cache hierarchy of Table I:
+// set-associative true-LRU caches with write-back/write-allocate policy,
+// an inclusive LLC with back-invalidation, and the LLC-side machinery of
+// Eager Mellow Writes (§IV-B): per-LRU-position hit counters, the
+// periodic useless-position profiler of Figure 7, and dirty-candidate
+// selection (Figure 8).
+package cache
+
+import (
+	"fmt"
+
+	"mellow/internal/config"
+)
+
+// line is one cache line. Lines store the full line address (byte address
+// >> 6) rather than a set-relative tag; comparisons are equally cheap and
+// reverse mapping for eager write-back is free.
+type line struct {
+	addr       uint64
+	valid      bool
+	dirty      bool
+	eagerClean bool   // cleaned by an eager mellow write-back, not re-dirtied yet
+	lastTouch  uint64 // value of the cache's access counter at last demand use
+}
+
+// set is one associativity set, ordered MRU (index 0) → LRU (index
+// ways-1). The index of a line is exactly its LRU stack position, which
+// the LLC profiler depends on (§IV-B1).
+type set struct {
+	ways []line
+}
+
+// find returns the way index (LRU stack position) holding addr, or -1.
+func (s *set) find(addr uint64) int {
+	for i := range s.ways {
+		if s.ways[i].valid && s.ways[i].addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// touch moves the line at position i to MRU and returns a pointer to it.
+func (s *set) touch(i int) *line {
+	l := s.ways[i]
+	copy(s.ways[1:i+1], s.ways[:i])
+	s.ways[0] = l
+	return &s.ways[0]
+}
+
+// insert places a new line at MRU, returning the evicted victim (valid
+// only if the set was full of valid lines).
+func (s *set) insert(l line) (victim line) {
+	// Prefer filling an invalid way; the LRU-most invalid way is as good
+	// as any.
+	for i := len(s.ways) - 1; i >= 0; i-- {
+		if !s.ways[i].valid {
+			copy(s.ways[1:i+1], s.ways[:i])
+			s.ways[0] = l
+			return line{}
+		}
+	}
+	victim = s.ways[len(s.ways)-1]
+	copy(s.ways[1:], s.ways[:len(s.ways)-1])
+	s.ways[0] = l
+	return victim
+}
+
+// Cache is one cache level.
+type Cache struct {
+	cfg      config.Cache
+	sets     []set
+	setMask  uint64
+	hits     uint64
+	misses   uint64
+	acc      uint64
+	touches  uint64 // monotone logical clock for decay prediction
+	fills    uint64
+	evicts   uint64
+	dirtyEv  uint64
+	profiler *Profiler // non-nil on the LLC only
+}
+
+// New builds a cache level from its configuration.
+func New(cfg config.Cache) *Cache {
+	nsets := cfg.Sets()
+	c := &Cache{cfg: cfg, sets: make([]set, nsets), setMask: uint64(nsets - 1)}
+	for i := range c.sets {
+		c.sets[i].ways = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// setFor returns the set for a line address.
+func (c *Cache) setFor(addr uint64) *set { return &c.sets[addr&c.setMask] }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// Config returns the level's configuration.
+func (c *Cache) Config() config.Cache { return c.cfg }
+
+// Hits and Misses return demand access counts since the last ResetStats.
+func (c *Cache) Hits() uint64   { return c.hits }
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Accesses returns total demand accesses.
+func (c *Cache) Accesses() uint64 { return c.acc }
+
+// DirtyEvictions returns the count of dirty victims produced.
+func (c *Cache) DirtyEvictions() uint64 { return c.dirtyEv }
+
+// lookup performs a demand access. On a hit the line moves to MRU and is
+// dirtied if write; wasEagerClean reports that a write re-dirtied a line
+// an eager write-back had cleaned (a wasted eager write).
+func (c *Cache) lookup(addr uint64, write bool) (hit, wasEagerClean bool) {
+	c.acc++
+	s := c.setFor(addr)
+	i := s.find(addr)
+	if i < 0 {
+		c.misses++
+		if c.profiler != nil {
+			c.profiler.miss++
+		}
+		return false, false
+	}
+	c.hits++
+	if c.profiler != nil {
+		c.profiler.hit[i]++
+	}
+	l := s.touch(i)
+	c.touches++
+	l.lastTouch = c.touches
+	if write {
+		wasEagerClean = l.eagerClean
+		l.dirty = true
+		l.eagerClean = false
+	}
+	return true, wasEagerClean
+}
+
+// install allocates a line (after a fill from the next level or an
+// incoming write-back from the previous one) and returns the victim, if
+// any valid line was displaced.
+func (c *Cache) install(addr uint64, dirty bool) (victimAddr uint64, victimValid, victimDirty bool) {
+	c.fills++
+	c.touches++
+	v := c.setFor(addr).insert(line{addr: addr, valid: true, dirty: dirty, lastTouch: c.touches})
+	if v.valid {
+		c.evicts++
+		if v.dirty {
+			c.dirtyEv++
+		}
+	}
+	return v.addr, v.valid, v.dirty
+}
+
+// mergeWriteback handles a dirty line arriving from the level above: on
+// hit the existing copy is dirtied (without promoting to MRU — a
+// write-back is not a demand use); on miss the caller must install.
+func (c *Cache) mergeWriteback(addr uint64) bool {
+	s := c.setFor(addr)
+	if i := s.find(addr); i >= 0 {
+		s.ways[i].dirty = true
+		s.ways[i].eagerClean = false
+		return true
+	}
+	return false
+}
+
+// invalidate removes addr if present, reporting whether the dropped copy
+// was dirty (the caller merges that into the outgoing write-back).
+func (c *Cache) invalidate(addr uint64) (present, dirty bool) {
+	s := c.setFor(addr)
+	i := s.find(addr)
+	if i < 0 {
+		return false, false
+	}
+	dirty = s.ways[i].dirty
+	s.ways[i] = line{}
+	return true, dirty
+}
+
+// contains reports whether addr is cached (tests and invariants).
+func (c *Cache) contains(addr uint64) bool { return c.setFor(addr).find(addr) >= 0 }
+
+// ResetStats zeroes the demand counters (end of warmup). Profiler counts
+// are left alone: the profiler follows its own sampling periods.
+func (c *Cache) ResetStats() {
+	c.hits, c.misses, c.acc, c.fills, c.evicts, c.dirtyEv = 0, 0, 0, 0, 0, 0
+}
+
+// DirtyLines counts dirty lines currently resident (tests).
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for si := range c.sets {
+		for _, l := range c.sets[si].ways {
+			if l.valid && l.dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (c *Cache) String() string {
+	return fmt.Sprintf("cache{%dKB %d-way, %d sets}", c.cfg.SizeBytes>>10, c.cfg.Ways, len(c.sets))
+}

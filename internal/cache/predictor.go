@@ -1,0 +1,45 @@
+package cache
+
+import "mellow/internal/rng"
+
+// Eager-candidate predictor names (config.Hierarchy.EagerPredictor).
+const (
+	// PredictorLRUProfile is the paper's §IV-B1 scheme: LRU stack
+	// positions whose hits fall below the useless threshold.
+	PredictorLRUProfile = "lru-profile"
+	// PredictorDecay is a timeout-style dead-block predictor (the §VII
+	// future-work direction): a dirty line untouched for more than a
+	// threshold number of LLC accesses is presumed dead and eligible for
+	// eager write-back.
+	PredictorDecay = "decay"
+)
+
+// EagerCandidateDecay picks an eager write-back candidate using decay
+// prediction: from a random set, the stalest dirty line whose age (in
+// LLC accesses) exceeds threshold. The chosen line is marked clean but
+// stays resident, exactly like the LRU-profile scheme.
+func (c *Cache) EagerCandidateDecay(src *rng.Source, threshold uint64) (addr uint64, ok bool) {
+	s := &c.sets[src.Uintn(uint64(len(c.sets)))]
+	best := -1
+	var bestAge uint64
+	for i := range s.ways {
+		l := &s.ways[i]
+		if !l.valid || !l.dirty {
+			continue
+		}
+		age := c.touches - l.lastTouch
+		if age > threshold && age > bestAge {
+			best, bestAge = i, age
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	l := &s.ways[best]
+	l.dirty = false
+	l.eagerClean = true
+	return l.addr, true
+}
+
+// Touches returns the cache's logical access clock (tests).
+func (c *Cache) Touches() uint64 { return c.touches }

@@ -1,0 +1,134 @@
+// Package core assembles the full system — workload generator, OoO core
+// model, cache hierarchy, and resistive-memory controller — and runs one
+// simulation, producing the measurements every figure of the paper is
+// built from.
+package core
+
+import (
+	"fmt"
+
+	"mellow/internal/cache"
+	"mellow/internal/config"
+	"mellow/internal/cpu"
+	"mellow/internal/mem"
+	"mellow/internal/policy"
+	"mellow/internal/rng"
+	"mellow/internal/sim"
+	"mellow/internal/trace"
+)
+
+// Result is the outcome of one (workload, policy, config) simulation.
+type Result struct {
+	Workload string
+	Policy   string
+	// Instructions and Cycles cover the post-warmup window.
+	Instructions uint64
+	Cycles       float64
+	// IPC is the headline performance metric (Figures 2, 10, 19).
+	IPC float64
+	// MPKI is LLC misses per 1000 instructions (Table IV).
+	MPKI float64
+	// Mem carries lifetime, utilization, drain, energy and bank traffic.
+	Mem mem.Snapshot
+	// Cache carries LLC traffic (Figure 14) and eager statistics.
+	Cache cache.Stats
+}
+
+// LifetimeYears is shorthand for the §V lifetime metric.
+func (r Result) LifetimeYears() float64 { return r.Mem.LifetimeYears }
+
+// System is a fully wired simulator instance.
+type System struct {
+	Cfg    config.Config
+	Spec   policy.Spec
+	Kernel *sim.Kernel
+	Hier   *cache.Hierarchy
+	Ctl    *mem.Controller
+	Core   *cpu.Core
+
+	workload trace.Workload
+}
+
+// NewSystem builds and wires a system for one workload and policy.
+func NewSystem(cfg config.Config, spec policy.Spec, w trace.Workload) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := &sim.Kernel{}
+	src := rng.New(cfg.Run.Seed)
+	hier := cache.NewHierarchy(cfg.Caches, src.Branch(1))
+	ctl := mem.New(k, cfg.Memory, spec)
+	ctl.SetEagerSource(hier.EagerCandidate)
+	gen := w.New(cfg.Run.Seed)
+	core := cpu.New(cfg, hier, ctl, gen)
+
+	// The LLC's useless-position profiler rotates every T_sample
+	// (§IV-B1), driven by the memory clock.
+	var rotate sim.Event
+	rotate = func(sim.Tick) {
+		hier.RotateProfile()
+		k.After(cfg.Caches.ProfilePeriod, rotate)
+	}
+	k.After(cfg.Caches.ProfilePeriod, rotate)
+
+	return &System{
+		Cfg: cfg, Spec: spec, Kernel: k,
+		Hier: hier, Ctl: ctl, Core: core,
+		workload: w,
+	}, nil
+}
+
+// Run warms the system up, measures the detailed window, and returns the
+// result.
+func (s *System) Run() Result {
+	if s.Cfg.Run.WarmupInstructions > 0 {
+		s.Core.Run(s.Cfg.Run.WarmupInstructions)
+	}
+	s.Hier.ResetStats()
+	s.Ctl.ResetStats()
+	s.Core.BeginMeasurement()
+	s.Core.Run(s.Cfg.Run.DetailedInstructions)
+	// Align the memory clock with the core before snapshotting so
+	// utilization windows match the measured cycles.
+	if t := sim.Tick(s.Core.Cycles()); t > s.Ctl.Now() {
+		s.Ctl.AdvanceTo(t)
+	}
+	return s.snapshot()
+}
+
+func (s *System) snapshot() Result {
+	cs := s.Hier.Snapshot()
+	r := Result{
+		Workload:     s.workload.Name,
+		Policy:       s.Spec.Name,
+		IPC:          s.Core.IPC(),
+		Instructions: s.Core.MeasuredInstructions(),
+		Cycles:       s.Core.MeasuredCycles(),
+		Mem:          s.Ctl.Snapshot(),
+		Cache:        cs,
+	}
+	if r.Instructions > 0 {
+		r.MPKI = float64(cs.LLCMisses) / (float64(r.Instructions) / 1000)
+	}
+	return r
+}
+
+// Run is the one-call entry point: simulate workloadName under spec with
+// cfg and return the result.
+func Run(cfg config.Config, spec policy.Spec, workloadName string) (Result, error) {
+	w, err := trace.ByName(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunWorkload(cfg, spec, w)
+}
+
+// RunWorkload simulates an explicit workload (e.g. one replayed from a
+// trace file) under spec with cfg.
+func RunWorkload(cfg config.Config, spec policy.Spec, w trace.Workload) (Result, error) {
+	sys, err := NewSystem(cfg, spec, w)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	return sys.Run(), nil
+}

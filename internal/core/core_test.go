@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"mellow/internal/config"
+	"mellow/internal/policy"
+)
+
+// quickCfg shortens runs for integration tests.
+func quickCfg() config.Config {
+	cfg := config.Default()
+	cfg.Run.WarmupInstructions = 1_500_000
+	cfg.Run.DetailedInstructions = 5_000_000
+	return cfg
+}
+
+func mustRun(t *testing.T, cfg config.Config, spec policy.Spec, workload string) Result {
+	t.Helper()
+	r, err := Run(cfg, spec, workload)
+	if err != nil {
+		t.Fatalf("Run(%s, %s): %v", workload, spec.Name, err)
+	}
+	return r
+}
+
+func TestRunBasics(t *testing.T) {
+	r := mustRun(t, quickCfg(), policy.Norm(), "stream")
+	if r.IPC <= 0 || r.IPC > 8 {
+		t.Errorf("IPC = %v, want in (0, 8]", r.IPC)
+	}
+	if r.Instructions < 1_000_000 {
+		t.Errorf("measured instructions = %d, want >= 1M", r.Instructions)
+	}
+	// With the stream prefetcher converting many demand misses into LLC
+	// hits, timing-run MPKI sits below the Table IV (no-prefetch) value.
+	if r.MPKI < 3 || r.MPKI > 25 {
+		t.Errorf("stream MPKI = %v, want a few to ~12", r.MPKI)
+	}
+	if r.Mem.TotalWrites() == 0 {
+		t.Error("no memory writes recorded for stream")
+	}
+	if r.LifetimeYears() <= 0 {
+		t.Errorf("lifetime = %v", r.LifetimeYears())
+	}
+	if r.Workload != "stream" || r.Policy != "Norm" {
+		t.Errorf("labels: %q %q", r.Workload, r.Policy)
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := Run(quickCfg(), policy.Norm(), "nope"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := quickCfg()
+	cfg.CPU.IssueWidth = 0
+	if _, err := Run(cfg, policy.Norm(), "stream"); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := mustRun(t, quickCfg(), policy.BEMellow().WithSC(), "stream")
+	b := mustRun(t, quickCfg(), policy.BEMellow().WithSC(), "stream")
+	if a.IPC != b.IPC || a.Mem.TotalWrites() != b.Mem.TotalWrites() ||
+		a.Mem.LifetimeYears != b.Mem.LifetimeYears {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestSlowWritesTradeoff(t *testing.T) {
+	// The paper's fundamental trade-off (Figure 2): all-slow writes give
+	// much longer lifetime and no better performance than all-normal.
+	norm := mustRun(t, quickCfg(), policy.Norm(), "lbm")
+	slow := mustRun(t, quickCfg(), policy.Slow(), "lbm")
+	if slow.LifetimeYears() < norm.LifetimeYears()*4 {
+		t.Errorf("Slow lifetime %v vs Norm %v: want >= 4x (ideal 9x)",
+			slow.LifetimeYears(), norm.LifetimeYears())
+	}
+	if slow.IPC > norm.IPC*1.02 {
+		t.Errorf("Slow IPC %v beat Norm %v", slow.IPC, norm.IPC)
+	}
+}
+
+func TestBankAwareMellowExtendsLifetime(t *testing.T) {
+	norm := mustRun(t, quickCfg(), policy.Norm(), "GemsFDTD")
+	bm := mustRun(t, quickCfg(), policy.BMellow().WithSC(), "GemsFDTD")
+	if bm.LifetimeYears() <= norm.LifetimeYears()*1.2 {
+		t.Errorf("B-Mellow lifetime %v vs Norm %v: want clear improvement",
+			bm.LifetimeYears(), norm.LifetimeYears())
+	}
+	// Minimal performance cost (§VI-A: "negligible loss").
+	if bm.IPC < norm.IPC*0.85 {
+		t.Errorf("B-Mellow IPC %v vs Norm %v: too much degradation", bm.IPC, norm.IPC)
+	}
+}
+
+func TestEagerMellowWritesFlow(t *testing.T) {
+	be := mustRun(t, quickCfg(), policy.BEMellow().WithSC(), "GemsFDTD")
+	if be.Cache.EagerIssued == 0 {
+		t.Fatal("no eager write-backs were generated")
+	}
+	if be.Mem.EagerDone == 0 {
+		t.Fatal("no eager writes completed at the banks")
+	}
+	norm := mustRun(t, quickCfg(), policy.Norm(), "GemsFDTD")
+	if be.LifetimeYears() <= norm.LifetimeYears() {
+		t.Errorf("BE-Mellow lifetime %v did not beat Norm %v",
+			be.LifetimeYears(), norm.LifetimeYears())
+	}
+}
+
+func TestWearQuotaGuaranteesLifetime(t *testing.T) {
+	// lbm under Norm burns out in far less than 8 years; +WQ must push
+	// the projected lifetime to at least ~8 years.
+	norm := mustRun(t, quickCfg(), policy.Norm(), "lbm")
+	if norm.LifetimeYears() >= 8 {
+		t.Skip("baseline already exceeds 8 years; quota test needs a hotter workload")
+	}
+	wq := mustRun(t, quickCfg(), policy.Norm().WithWQ(), "lbm")
+	if wq.LifetimeYears() < 6.0 {
+		t.Errorf("Norm+WQ lifetime = %v years, want ~8 (>=6 with short-run noise)",
+			wq.LifetimeYears())
+	}
+}
+
+func TestMcfIsMemoryBound(t *testing.T) {
+	r := mustRun(t, quickCfg(), policy.Norm(), "mcf")
+	if r.IPC > 0.6 {
+		t.Errorf("mcf IPC = %v, expected memory-bound (< 0.6)", r.IPC)
+	}
+}
+
+func TestCancellationHelpsDependentReads(t *testing.T) {
+	// With all-slow writes, letting reads cancel writes must not hurt a
+	// read-dominated dependent workload.
+	plain := mustRun(t, quickCfg(), policy.Slow(), "mcf")
+	sc := mustRun(t, quickCfg(), policy.Slow().WithSC(), "mcf")
+	if sc.Mem.Cancellations == 0 {
+		t.Error("no cancellations occurred under Slow+SC for mcf")
+	}
+	if sc.IPC < plain.IPC*0.95 {
+		t.Errorf("Slow+SC IPC %v much worse than Slow %v", sc.IPC, plain.IPC)
+	}
+}
+
+func TestBankCountSweepRuns(t *testing.T) {
+	for _, banks := range []int{4, 8, 16} {
+		cfg, err := quickCfg().WithBanks(banks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := mustRun(t, cfg, policy.BEMellow().WithSC(), "GemsFDTD")
+		if len(r.Mem.BankUtilization) != banks {
+			t.Errorf("%d banks: got %d utilization entries", banks, len(r.Mem.BankUtilization))
+		}
+	}
+}
+
+func TestUtilizationSane(t *testing.T) {
+	r := mustRun(t, quickCfg(), policy.Norm(), "milc")
+	if r.Mem.AvgUtilization <= 0 || r.Mem.AvgUtilization >= 1 {
+		t.Errorf("avg utilization = %v", r.Mem.AvgUtilization)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mellow/internal/cache"
+	"mellow/internal/policy"
+)
+
+func TestMultiLatencyIntegration(t *testing.T) {
+	// +ML must produce intermediate pulses under contention and keep a
+	// lifetime between Norm and the two-pulse BE-Mellow.
+	ml := mustRun(t, quickCfg(), policy.BEMellow().WithSC().WithML(), "GemsFDTD")
+	var mid uint64
+	mid += ml.Mem.WritesByMode[1] + ml.Mem.WritesByMode[2] // 1.5x + 2x pulses
+	if mid == 0 {
+		t.Error("multi-latency policy never used an intermediate pulse")
+	}
+	norm := mustRun(t, quickCfg(), policy.Norm(), "GemsFDTD")
+	if ml.LifetimeYears() <= norm.LifetimeYears() {
+		t.Errorf("ML lifetime %v did not beat Norm %v", ml.LifetimeYears(), norm.LifetimeYears())
+	}
+}
+
+func TestWritePausingIntegration(t *testing.T) {
+	wp := mustRun(t, quickCfg(), policy.BEMellow().WithWP(), "GemsFDTD")
+	if wp.Mem.Pauses == 0 {
+		t.Fatal("no pauses occurred under +WP")
+	}
+	if wp.Mem.Cancellations != 0 {
+		t.Errorf("cancellations = %d under pausing-only policy", wp.Mem.Cancellations)
+	}
+	// Pausing wastes no work: lifetime should match or beat the
+	// cancellation variant under the same policy family.
+	sc := mustRun(t, quickCfg(), policy.BEMellow().WithSC(), "GemsFDTD")
+	if wp.LifetimeYears() < sc.LifetimeYears()*0.95 {
+		t.Errorf("pausing lifetime %v well below cancellation %v",
+			wp.LifetimeYears(), sc.LifetimeYears())
+	}
+}
+
+func TestDecayPredictorIntegration(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Caches.EagerPredictor = cache.PredictorDecay
+	r := mustRun(t, cfg, policy.BEMellow().WithSC(), "GemsFDTD")
+	if r.Cache.EagerIssued == 0 {
+		t.Fatal("decay predictor produced no eager write-backs")
+	}
+	norm := mustRun(t, quickCfg(), policy.Norm(), "GemsFDTD")
+	if r.LifetimeYears() <= norm.LifetimeYears() {
+		t.Errorf("decay-predicted BE-Mellow %v did not beat Norm %v",
+			r.LifetimeYears(), norm.LifetimeYears())
+	}
+}
+
+func TestExpoFactorMonotonicity(t *testing.T) {
+	// Higher ExpoFactor only helps policies that use slow writes; a
+	// policy's lifetime must be nondecreasing in the exponent.
+	prev := 0.0
+	for i, expo := range []float64{1.0, 2.0, 3.0} {
+		cfg := quickCfg()
+		cfg.Memory.Device.ExpoFactor = expo
+		r := mustRun(t, cfg, policy.Slow(), "GemsFDTD")
+		if i > 0 && r.LifetimeYears() < prev {
+			t.Errorf("Slow lifetime decreased with expo %v: %v < %v", expo, r.LifetimeYears(), prev)
+		}
+		prev = r.LifetimeYears()
+	}
+}
+
+func TestNormLifetimeIndependentOfExpo(t *testing.T) {
+	a, b := quickCfg(), quickCfg()
+	a.Memory.Device.ExpoFactor = 1.0
+	b.Memory.Device.ExpoFactor = 3.0
+	ra := mustRun(t, a, policy.Norm(), "milc")
+	rb := mustRun(t, b, policy.Norm(), "milc")
+	if math.Abs(ra.LifetimeYears()-rb.LifetimeYears()) > 1e-9 {
+		t.Errorf("Norm lifetime changed with ExpoFactor: %v vs %v",
+			ra.LifetimeYears(), rb.LifetimeYears())
+	}
+}
+
+func TestEnergyBreakdownConsistent(t *testing.T) {
+	r := mustRun(t, quickCfg(), policy.BEMellow().WithSC(), "lbm")
+	e := r.Mem.Energy
+	sum := e.ReadTotalPJ() + e.WriteTotalPJ() + e.CancelledPJ + e.MigrationPJ
+	if math.Abs(sum-r.Mem.EnergyPJ) > 1e-6 {
+		t.Errorf("breakdown sum %v != total %v", sum, r.Mem.EnergyPJ)
+	}
+	if e.WriteTotalPJ() == 0 || e.ReadTotalPJ() == 0 {
+		t.Error("breakdown missing major components")
+	}
+}
+
+func TestSeedChangesTimingNotShape(t *testing.T) {
+	a := mustRun(t, quickCfg(), policy.Norm(), "gups")
+	cfg := quickCfg()
+	cfg.Run.Seed = 42
+	b := mustRun(t, cfg, policy.Norm(), "gups")
+	if a.IPC == b.IPC && a.Mem.TotalWrites() == b.Mem.TotalWrites() {
+		t.Error("different seeds produced identical runs — seeding broken")
+	}
+	// But the workload character is stable across seeds.
+	if b.IPC < a.IPC*0.8 || b.IPC > a.IPC*1.2 {
+		t.Errorf("IPC unstable across seeds: %v vs %v", a.IPC, b.IPC)
+	}
+}

@@ -1,0 +1,291 @@
+// Package cpu models the out-of-order core of Table I as an interval
+// (ROB-window) model: instructions dispatch and retire in order at the
+// issue width, execution is out of order with unlimited functional
+// units, and the pipeline stalls when the reorder buffer fills behind an
+// incomplete load. This keeps the three couplings the paper's results
+// rest on — read latency exposed at the ROB head, memory-level
+// parallelism bounded by MSHRs and the ROB, and write traffic shaped by
+// the cache hierarchy — at a cost proportional to memory traffic rather
+// than instruction count (see DESIGN.md §3/§4).
+package cpu
+
+import (
+	"mellow/internal/cache"
+	"mellow/internal/config"
+	"mellow/internal/mem"
+	"mellow/internal/sim"
+	"mellow/internal/trace"
+)
+
+// pendingLoad is an in-flight load occupying the ROB (and an MSHR when
+// it went to memory).
+type pendingLoad struct {
+	num      uint64       // instruction number
+	req      *mem.Request // nil for L2/L3 hits
+	fallback sim.Tick     // completion time when req is nil
+}
+
+// Core drives the cache hierarchy and memory controller from a workload
+// trace. One tick is one core cycle.
+type Core struct {
+	cfg  config.CPU
+	hier *cache.Hierarchy
+	ctl  *mem.Controller
+	gen  trace.Generator
+
+	width     float64
+	robSize   uint64
+	loadMSHRs int // demand loads (L1 miss-status file)
+	mshrLimit int // every outstanding memory read (LLC MSHRs)
+
+	cycles  float64 // dispatch/retire cursor, in cycles (= ticks)
+	instrs  uint64
+	loads   []pendingLoad  // FIFO of ROB-resident loads
+	fetches []*mem.Request // store-allocate fetches (MSHR only)
+	// Dependence chain state: the most recent load is either a resolved
+	// completion time or a still-pending memory request.
+	lastLoad    sim.Tick
+	lastLoadReq *mem.Request
+	pf          *prefetcher
+
+	baseCycles float64 // measurement window start
+	baseInstrs uint64
+}
+
+// New builds a core over an already-wired hierarchy and controller.
+func New(cfg config.Config, hier *cache.Hierarchy, ctl *mem.Controller, gen trace.Generator) *Core {
+	return &Core{
+		cfg:       cfg.CPU,
+		hier:      hier,
+		ctl:       ctl,
+		gen:       gen,
+		width:     float64(cfg.CPU.IssueWidth),
+		robSize:   uint64(cfg.CPU.ROBEntries),
+		loadMSHRs: cfg.Caches.L1.MSHRs,
+		mshrLimit: cfg.Caches.L3.MSHRs,
+		pf:        newPrefetcher(4),
+	}
+}
+
+// now returns the dispatch cursor as a tick.
+func (c *Core) now() sim.Tick { return sim.Tick(c.cycles) }
+
+// complete resolves a pending load's completion time, advancing the
+// memory clock as needed.
+func (c *Core) complete(p pendingLoad) sim.Tick {
+	if p.req == nil {
+		return p.fallback
+	}
+	return c.ctl.WaitRead(p.req)
+}
+
+// sweep retires finished loads and fetches from the head of the queues
+// without waiting.
+func (c *Core) sweep() {
+	for len(c.loads) > 0 {
+		p := c.loads[0]
+		if p.req != nil {
+			if !p.req.Done() {
+				break
+			}
+		} else if p.fallback > c.now() {
+			break
+		}
+		c.loads = c.loads[1:]
+	}
+	keep := c.fetches[:0]
+	for _, r := range c.fetches {
+		if !r.Done() {
+			keep = append(keep, r)
+		}
+	}
+	c.fetches = keep
+}
+
+// loadsOutstanding counts unfinished demand loads that went to memory.
+func (c *Core) loadsOutstanding() int {
+	n := 0
+	for _, p := range c.loads {
+		if p.req != nil && !p.req.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// memOutstanding counts LLC MSHR occupancy: demand loads, store-allocate
+// fetches and prefetches share the miss-status file.
+func (c *Core) memOutstanding() int {
+	n := len(c.fetches) + c.prefetchOutstanding()
+	for _, p := range c.loads {
+		if p.req != nil && !p.req.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// stallFor advances the pipeline cursor to t if it is ahead.
+func (c *Core) stallFor(t sim.Tick) {
+	if ft := float64(t); ft > c.cycles {
+		c.cycles = ft
+	}
+}
+
+// Run executes n instructions (dispatch-counted) and returns.
+func (c *Core) Run(n uint64) {
+	end := c.instrs + n
+	for c.instrs < end {
+		c.step()
+	}
+}
+
+// Step consumes exactly one trace op (its gap plus one access). Multi-
+// core co-simulation drives cores step-by-step in local-time order.
+func (c *Core) Step() { c.step() }
+
+// step consumes one trace op: its gap instructions plus one access.
+func (c *Core) step() {
+	op := c.gen.Next()
+
+	// Dispatch bandwidth for the gap and the access itself.
+	c.instrs += uint64(op.Gap) + 1
+	c.cycles += (float64(op.Gap) + 1) / c.width
+
+	c.sweep()
+	c.drainPrefetches()
+
+	// ROB: the window cannot move past an incomplete load that is
+	// ROBEntries behind the dispatch point.
+	for len(c.loads) > 0 && c.loads[0].num+c.robSize <= c.instrs {
+		p := c.loads[0]
+		c.loads = c.loads[1:]
+		c.stallFor(c.complete(p))
+	}
+
+	// MSHRs. Demand loads are bounded by the L1 miss-status file; the
+	// total of loads, store-allocate fetches and prefetches is bounded
+	// by the LLC's (stores and prefetches bypass the L1 MSHRs: stores
+	// retire into write buffers, prefetches train at the LLC).
+	for c.loadsOutstanding() >= c.loadMSHRs {
+		p := c.loads[0]
+		c.loads = c.loads[1:]
+		c.stallFor(c.complete(p))
+		c.sweep()
+	}
+	for c.memOutstanding() >= c.mshrLimit {
+		if len(c.loads) > 0 && c.loads[0].req != nil {
+			p := c.loads[0]
+			c.loads = c.loads[1:]
+			c.stallFor(c.complete(p))
+		} else if len(c.fetches) > 0 {
+			c.ctl.WaitRead(c.fetches[0])
+			c.fetches = c.fetches[1:]
+		} else if len(c.pf.inflight) > 0 {
+			c.ctl.WaitRead(c.pf.inflight[0].req)
+			c.drainPrefetches()
+		} else {
+			break
+		}
+		c.sweep()
+	}
+
+	// Dependent loads (pointer chase) cannot issue until the previous
+	// load's value arrived; the chain serialises the window.
+	if op.Dep && !op.Write {
+		if c.lastLoadReq != nil {
+			c.stallFor(c.ctl.WaitRead(c.lastLoadReq))
+		} else {
+			c.stallFor(c.lastLoad)
+		}
+	}
+
+	// Keep the memory clock tracking the core during compute-heavy
+	// stretches so eager writes and profiling continue.
+	if t := c.now(); t > c.ctl.Now() {
+		c.ctl.AdvanceTo(t)
+	}
+
+	res := c.hier.Access(op.Addr, op.Write)
+
+	// LLC write-backs displaced by this access enter the write queue;
+	// a full queue back-pressures the miss.
+	for _, wb := range res.Writebacks {
+		accepted := c.ctl.SubmitWrite(wb, c.now())
+		c.stallFor(accepted)
+	}
+
+	latency := c.hitLatency(res.Hit)
+	switch {
+	case res.Fetch && op.Write:
+		// Write-allocate fetch: occupies an MSHR, never blocks retire.
+		r := c.demandRead(res.FetchAddr)
+		c.fetches = append(c.fetches, r)
+	case res.Fetch:
+		r := c.demandRead(res.FetchAddr)
+		c.loads = append(c.loads, pendingLoad{num: c.instrs, req: r})
+		c.lastLoadReq = r
+	case !op.Write && res.Hit != cache.LevelL1:
+		done := c.now() + sim.Tick(latency)
+		c.loads = append(c.loads, pendingLoad{num: c.instrs, fallback: done})
+		c.lastLoad, c.lastLoadReq = done, nil
+	case !op.Write:
+		c.lastLoad, c.lastLoadReq = c.now()+sim.Tick(latency), nil
+	}
+}
+
+// demandRead issues a memory read for a demand miss, reusing an
+// in-flight prefetch of the same line when one exists, and training the
+// stream prefetcher.
+func (c *Core) demandRead(line uint64) *mem.Request {
+	confirmed := c.pf.observe(line)
+	r := c.prefetchRequest(line)
+	if r == nil {
+		r = c.ctl.SubmitRead(line, c.now())
+	}
+	if confirmed {
+		c.issuePrefetches(line)
+	}
+	return r
+}
+
+// hitLatency returns the load-to-use latency in cycles for a hit level.
+func (c *Core) hitLatency(lv cache.Level) int {
+	// Latencies accumulate down the hierarchy (Table I hit latencies).
+	switch lv {
+	case cache.LevelL1:
+		return 2
+	case cache.LevelL2:
+		return 2 + 12
+	default:
+		return 2 + 12 + 35
+	}
+}
+
+// Instructions returns instructions dispatched so far.
+func (c *Core) Instructions() uint64 { return c.instrs }
+
+// Cycles returns the pipeline cursor in cycles.
+func (c *Core) Cycles() float64 { return c.cycles }
+
+// BeginMeasurement marks the end of warmup for IPC accounting.
+func (c *Core) BeginMeasurement() {
+	c.baseCycles = c.cycles
+	c.baseInstrs = c.instrs
+}
+
+// MeasuredInstructions returns instructions dispatched since
+// BeginMeasurement.
+func (c *Core) MeasuredInstructions() uint64 { return c.instrs - c.baseInstrs }
+
+// MeasuredCycles returns cycles elapsed since BeginMeasurement.
+func (c *Core) MeasuredCycles() float64 { return c.cycles - c.baseCycles }
+
+// IPC returns instructions per cycle over the measurement window.
+func (c *Core) IPC() float64 {
+	cycles := c.cycles - c.baseCycles
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(c.instrs-c.baseInstrs) / cycles
+}

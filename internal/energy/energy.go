@@ -1,0 +1,82 @@
+// Package energy accumulates main-memory energy by operation class, so
+// Figure 16 can be reported both as a total and as a breakdown (reads vs
+// writes vs the overheads the Mellow schemes add: cancelled attempts,
+// eager writes and Start-Gap migrations).
+package energy
+
+import "mellow/internal/nvm"
+
+// Breakdown is a running energy account in picojoules. The zero value
+// is an empty account.
+type Breakdown struct {
+	// RowHitReadsPJ is column reads served by an open row buffer.
+	RowHitReadsPJ float64
+	// BufferFillsPJ is array-to-row-buffer fills (read row misses).
+	BufferFillsPJ float64
+	// WritesPJ is completed write pulses, by pulse mode.
+	WritesPJ [4]float64
+	// CancelledPJ is aborted write pulses, pro-rated by the fraction of
+	// the pulse that ran before the cancelling read arrived.
+	CancelledPJ float64
+	// MigrationPJ is Start-Gap gap-move reads+writes.
+	MigrationPJ float64
+}
+
+// AddRowHitRead charges one open-row read.
+func (b *Breakdown) AddRowHitRead(m nvm.EnergyModel) {
+	b.RowHitReadsPJ += m.RowHitReadEnergyPJ()
+}
+
+// AddBufferFill charges one row-buffer fill plus the column read.
+func (b *Breakdown) AddBufferFill(m nvm.EnergyModel) {
+	b.BufferFillsPJ += m.BufferReadEnergyPJ()
+	b.RowHitReadsPJ += m.RowHitReadEnergyPJ()
+}
+
+// AddWrite charges one completed write pulse.
+func (b *Breakdown) AddWrite(m nvm.EnergyModel, mode nvm.WriteMode) {
+	b.WritesPJ[mode] += m.WriteEnergyPJ(mode)
+}
+
+// AddCancelled charges an aborted write attempt in the given mode for
+// the fraction of the pulse that completed.
+func (b *Breakdown) AddCancelled(m nvm.EnergyModel, mode nvm.WriteMode, frac float64) {
+	b.CancelledPJ += m.WriteEnergyPJ(mode) * frac
+}
+
+// AddMigration charges a Start-Gap gap move: one array read and one
+// normal write.
+func (b *Breakdown) AddMigration(m nvm.EnergyModel) {
+	b.MigrationPJ += m.BufferReadEnergyPJ() + m.WriteEnergyPJ(nvm.WriteNormal)
+}
+
+// WriteTotalPJ sums completed write energy across modes.
+func (b Breakdown) WriteTotalPJ() float64 {
+	t := 0.0
+	for _, v := range b.WritesPJ {
+		t += v
+	}
+	return t
+}
+
+// ReadTotalPJ sums read-path energy.
+func (b Breakdown) ReadTotalPJ() float64 { return b.RowHitReadsPJ + b.BufferFillsPJ }
+
+// TotalPJ is whole-memory energy.
+func (b Breakdown) TotalPJ() float64 {
+	return b.ReadTotalPJ() + b.WriteTotalPJ() + b.CancelledPJ + b.MigrationPJ
+}
+
+// Sub returns the energy accumulated since base (measurement windows).
+func (b Breakdown) Sub(base Breakdown) Breakdown {
+	d := Breakdown{
+		RowHitReadsPJ: b.RowHitReadsPJ - base.RowHitReadsPJ,
+		BufferFillsPJ: b.BufferFillsPJ - base.BufferFillsPJ,
+		CancelledPJ:   b.CancelledPJ - base.CancelledPJ,
+		MigrationPJ:   b.MigrationPJ - base.MigrationPJ,
+	}
+	for i := range b.WritesPJ {
+		d.WritesPJ[i] = b.WritesPJ[i] - base.WritesPJ[i]
+	}
+	return d
+}

@@ -1,0 +1,92 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mellow/internal/nvm"
+)
+
+func TestBreakdownAccumulates(t *testing.T) {
+	m := nvm.EnergyModel{Cell: nvm.CellC}
+	var b Breakdown
+	b.AddRowHitRead(m)
+	b.AddBufferFill(m)
+	b.AddWrite(m, nvm.WriteNormal)
+	b.AddWrite(m, nvm.WriteSlow30)
+	b.AddCancelled(m, nvm.WriteSlow30, 0.5)
+	b.AddMigration(m)
+
+	wantReads := 100.0 + (1503.0 + 100.0)
+	if math.Abs(b.ReadTotalPJ()-wantReads) > 1e-9 {
+		t.Errorf("reads = %v, want %v", b.ReadTotalPJ(), wantReads)
+	}
+	wantWrites := m.WriteEnergyPJ(nvm.WriteNormal) + m.WriteEnergyPJ(nvm.WriteSlow30)
+	if math.Abs(b.WriteTotalPJ()-wantWrites) > 1e-9 {
+		t.Errorf("writes = %v, want %v", b.WriteTotalPJ(), wantWrites)
+	}
+	if math.Abs(b.CancelledPJ-0.5*m.WriteEnergyPJ(nvm.WriteSlow30)) > 1e-9 {
+		t.Errorf("cancelled = %v", b.CancelledPJ)
+	}
+	wantMigration := 1503.0 + m.WriteEnergyPJ(nvm.WriteNormal)
+	if math.Abs(b.MigrationPJ-wantMigration) > 1e-9 {
+		t.Errorf("migration = %v, want %v", b.MigrationPJ, wantMigration)
+	}
+	wantTotal := wantReads + wantWrites + b.CancelledPJ + wantMigration
+	if math.Abs(b.TotalPJ()-wantTotal) > 1e-9 {
+		t.Errorf("total = %v, want %v", b.TotalPJ(), wantTotal)
+	}
+}
+
+func TestSubGivesWindow(t *testing.T) {
+	m := nvm.EnergyModel{Cell: nvm.CellA}
+	var b Breakdown
+	b.AddWrite(m, nvm.WriteNormal)
+	base := b
+	b.AddWrite(m, nvm.WriteSlow30)
+	b.AddRowHitRead(m)
+	d := b.Sub(base)
+	if d.WritesPJ[nvm.WriteNormal] != 0 {
+		t.Errorf("window includes pre-base write: %v", d.WritesPJ)
+	}
+	if d.WritesPJ[nvm.WriteSlow30] != m.WriteEnergyPJ(nvm.WriteSlow30) {
+		t.Errorf("slow write missing from window")
+	}
+	if d.RowHitReadsPJ != 100.0 {
+		t.Errorf("read missing from window: %v", d.RowHitReadsPJ)
+	}
+}
+
+// Property: totals are always the sum of the parts, and Sub is the
+// inverse of accumulation.
+func TestQuickTotalConsistent(t *testing.T) {
+	m := nvm.EnergyModel{Cell: nvm.CellB}
+	f := func(ops []uint8) bool {
+		var b Breakdown
+		for _, op := range ops {
+			switch op % 6 {
+			case 0:
+				b.AddRowHitRead(m)
+			case 1:
+				b.AddBufferFill(m)
+			case 2:
+				b.AddWrite(m, nvm.WriteNormal)
+			case 3:
+				b.AddWrite(m, nvm.WriteSlow30)
+			case 4:
+				b.AddCancelled(m, nvm.WriteNormal, 0.7)
+			case 5:
+				b.AddMigration(m)
+			}
+		}
+		sum := b.ReadTotalPJ() + b.WriteTotalPJ() + b.CancelledPJ + b.MigrationPJ
+		if math.Abs(sum-b.TotalPJ()) > 1e-6 {
+			return false
+		}
+		return math.Abs(b.Sub(Breakdown{}).TotalPJ()-b.TotalPJ()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §5 for the index). Each experiment runs the
+// required (workload, policy, config) simulations — in parallel, with
+// per-process memoisation so figures sharing a sweep reuse it — and
+// prints the same rows/series the paper reports.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mellow/internal/config"
+	"mellow/internal/core"
+	"mellow/internal/policy"
+	"mellow/internal/trace"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Cfg is the base configuration; experiments override policy- or
+	// sweep-specific fields (banks, ExpoFactor) but keep run lengths.
+	Cfg config.Config
+	// Out receives the rendered tables.
+	Out io.Writer
+	// Workloads restricts the benchmark suite (default: all 11).
+	Workloads []string
+	// Parallel bounds concurrent simulations (default: NumCPU).
+	Parallel int
+}
+
+// workloads resolves the active suite.
+func (o Options) workloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return trace.Names()
+}
+
+func (o Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.NumCPU()
+}
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	// ID is the short handle, e.g. "fig11" or "tab4".
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// Run executes the experiment and renders its output.
+	Run func(Options) error
+}
+
+// registry lists all experiments in paper order.
+var registry = []Experiment{
+	{"tab4", "Table IV: workload MPKI with a 2 MB LLC", runTable4},
+	{"tab6", "Table VI: energy per operation of memristive main memory", runTable6},
+	{"fig1", "Figure 1: write latency / endurance trade-off", runFig1},
+	{"fig2", "Figure 2: IPC and lifetime under static write latencies", runFig2},
+	{"fig3", "Figure 3: bank utilization with normal writes", runFig3},
+	{"fig10", "Figure 10: IPC by write policy", runFig10},
+	{"fig11", "Figure 11: memory lifetime by write policy (years)", runFig11},
+	{"fig12", "Figure 12: bank utilization by write policy", runFig12},
+	{"fig13", "Figure 13: write drain time by write policy", runFig13},
+	{"fig14", "Figure 14: memory requests from the LLC", runFig14},
+	{"fig15", "Figure 15: requests issued to memory banks", runFig15},
+	{"fig16", "Figure 16: main memory energy consumption", runFig16},
+	{"fig17", "Figure 17: lifetime sensitivity to ExpoFactor", runFig17},
+	{"fig18", "Figure 18: sensitivity to bank-level parallelism (GemsFDTD)", runFig18},
+	{"fig19", "Figure 19: BE-Mellow+SC+WQ vs static policies", runFig19},
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// runKey identifies one simulation for memoisation.
+type runKey struct {
+	cfg      string // canonical JSON of the config
+	policy   string
+	workload string
+}
+
+var (
+	cacheMu  sync.Mutex
+	runCache = map[runKey]core.Result{}
+)
+
+// ResetCache drops memoised simulation results (tests).
+func ResetCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	runCache = map[runKey]core.Result{}
+}
+
+func keyFor(cfg config.Config, spec policy.Spec, workload string) runKey {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: config not serialisable: %v", err))
+	}
+	return runKey{cfg: string(b), policy: spec.Name, workload: workload}
+}
+
+// job is one simulation to perform.
+type job struct {
+	cfg      config.Config
+	spec     policy.Spec
+	workload string
+}
+
+// runAll executes the jobs (memoised, parallel) and returns results
+// keyed by (policy, workload).
+func runAll(o Options, jobs []job) (map[[2]string]core.Result, error) {
+	results := make(map[[2]string]core.Result, len(jobs))
+	var resMu sync.Mutex
+	sem := make(chan struct{}, o.parallel())
+	var wg sync.WaitGroup
+	var firstErr error
+	for _, j := range jobs {
+		j := j
+		key := keyFor(j.cfg, j.spec, j.workload)
+		cacheMu.Lock()
+		if r, ok := runCache[key]; ok {
+			cacheMu.Unlock()
+			results[[2]string{j.spec.Name, j.workload}] = r
+			continue
+		}
+		cacheMu.Unlock()
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := core.Run(j.cfg, j.spec, j.workload)
+			resMu.Lock()
+			defer resMu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			cacheMu.Lock()
+			runCache[key] = r
+			cacheMu.Unlock()
+			results[[2]string{j.spec.Name, j.workload}] = r
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runOne executes (or reuses) a single simulation.
+func runOne(o Options, cfg config.Config, spec policy.Spec, workload string) (core.Result, error) {
+	key := keyFor(cfg, spec, workload)
+	cacheMu.Lock()
+	if r, ok := runCache[key]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+	r, err := core.Run(cfg, spec, workload)
+	if err != nil {
+		return core.Result{}, err
+	}
+	cacheMu.Lock()
+	runCache[key] = r
+	cacheMu.Unlock()
+	return r, nil
+}
+
+// evalSweep runs the Figure 10–16 policy line-up over the active suite.
+func evalSweep(o Options) (map[[2]string]core.Result, []policy.Spec, error) {
+	specs := policy.EvaluationSet()
+	var jobs []job
+	for _, w := range o.workloads() {
+		for _, s := range specs {
+			jobs = append(jobs, job{cfg: o.Cfg, spec: s, workload: w})
+		}
+	}
+	res, err := runAll(o, jobs)
+	return res, specs, err
+}
+
+// EvalSweep exposes the Figure 10-16 sweep to sibling tools (the SVG
+// plotter): results keyed by (policy name, workload), plus the line-up.
+func EvalSweep(o Options) (map[[2]string]core.Result, []policy.Spec, error) {
+	return evalSweep(o)
+}

@@ -1,0 +1,633 @@
+package mem
+
+import (
+	"math/bits"
+
+	"mellow/internal/config"
+	"mellow/internal/energy"
+	"mellow/internal/nvm"
+	"mellow/internal/policy"
+	"mellow/internal/sim"
+	"mellow/internal/stats"
+	"mellow/internal/wear"
+)
+
+// eagerPumpInterval is how often the controller lets the LLC refill the
+// Eager Mellow Queue. The paper allows one candidate per idle LLC cycle;
+// topping the 16-entry queue up every 10 memory cycles (25 ns) is an
+// equivalent but event-efficient rate (a slow write takes 450 ns).
+const eagerPumpInterval = 10 * sim.MemCycle
+
+// forwardLatency is the controller-internal latency of serving a read
+// straight from a queued write's data (write-to-read forwarding).
+const forwardLatency = 2 * sim.MemCycle
+
+// cancelPenalty is the bank recovery time after an aborted write pulse.
+const cancelPenalty = sim.MemCycle
+
+// resumePenalty is the extra pulse time a paused write pays when it
+// resumes (re-ramping the write drivers).
+const resumePenalty = sim.MemCycle
+
+// EagerSource supplies eager write-back candidates (the LLC). It returns
+// a line address, or ok=false when no useless dirty line is available.
+type EagerSource func() (line uint64, ok bool)
+
+// bankState is the per-bank timing and row-buffer state.
+type bankState struct {
+	cur            *Request
+	curCancellable bool
+	curPausable    bool
+	curStart       sim.Tick
+	freeAt         sim.Tick
+	openValid      bool
+	openTag        uint64
+	busy           stats.BusyMeter
+}
+
+// Controller is the resistive-memory controller. It is single-threaded
+// and driven by the simulation kernel it is given.
+type Controller struct {
+	k    *sim.Kernel
+	cfg  config.Memory
+	spec policy.Spec
+	em   nvm.EnergyModel
+
+	banks         []bankState
+	bankMask      uint64
+	bankBits      uint
+	linesPerBuf   uint64
+	blocksPerBank int64
+
+	readQ, writeQ, eagerQ []*Request
+
+	draining   bool
+	drainMeter stats.Toggle
+	busFree    []sim.Tick    // per-channel data-bus occupancy
+	rankAct    [][4]sim.Tick // per-rank ring of last 4 activates (tFAW)
+	rankActIdx []int
+	rankActN   []int // activations recorded, saturating at 4
+
+	meters []*wear.Meter
+	quotas []*wear.Quota
+	gaps   []*wear.StartGap
+
+	eagerSource EagerSource
+
+	statsStart  sim.Tick
+	energy      energy.Breakdown
+	energyBase  energy.Breakdown
+	readLat     stats.Histogram
+	readLatBase stats.Histogram
+	counts      Counters
+	base        meterBase
+}
+
+// Counters are the monotonically increasing event counts of the
+// controller (since the last ResetStats).
+type Counters struct {
+	Reads         uint64 // reads serviced by banks
+	RowHits       uint64
+	RowMisses     uint64
+	Forwarded     uint64 // reads served from queued write data
+	WriteQueued   uint64 // write-backs accepted into the write queue
+	EagerQueued   uint64 // eager write-backs accepted
+	Coalesced     uint64 // write-backs merged into an existing entry
+	WritesDone    uint64 // demand writes completed (write queue)
+	EagerDone     uint64 // eager writes completed
+	Cancellations uint64
+	Pauses        uint64 // write pulses suspended by reads (+WP)
+	Drains        uint64 // drain-mode entries
+}
+
+// New wires a controller to a kernel for the given configuration and
+// policy.
+func New(k *sim.Kernel, cfg config.Memory, spec policy.Spec) *Controller {
+	nb := cfg.Banks()
+	c := &Controller{
+		k:             k,
+		cfg:           cfg,
+		spec:          spec,
+		em:            nvm.EnergyModel{Cell: cfg.Cell},
+		banks:         make([]bankState, nb),
+		bankMask:      uint64(nb - 1),
+		bankBits:      uint(bits.TrailingZeros(uint(nb))),
+		linesPerBuf:   uint64(cfg.RowBufferBytes / config.LineBytes),
+		blocksPerBank: cfg.BlocksPerBank(),
+		busFree:       make([]sim.Tick, cfg.Channels),
+		rankAct:       make([][4]sim.Tick, cfg.TotalRanks()),
+		rankActIdx:    make([]int, cfg.TotalRanks()),
+		rankActN:      make([]int, cfg.TotalRanks()),
+	}
+	c.meters = make([]*wear.Meter, nb)
+	c.quotas = make([]*wear.Quota, nb)
+	c.gaps = make([]*wear.StartGap, nb)
+	for b := 0; b < nb; b++ {
+		c.meters[b] = &wear.Meter{}
+		c.quotas[b] = wear.NewQuota(c.blocksPerBank, cfg.Device.BaseEndurance,
+			spec.QuotaPeriod, spec.TargetLifetime, spec.QuotaRatio)
+		c.gaps[b] = wear.NewStartGap(c.blocksPerBank, cfg.StartGapPsi)
+	}
+	if spec.WearQuota {
+		c.k.After(spec.QuotaPeriod, c.quotaTick)
+		// Period 0 starts immediately with zero history.
+		for _, q := range c.quotas {
+			q.StartPeriod(0)
+		}
+	}
+	c.ResetStats()
+	return c
+}
+
+// SetEagerSource installs the LLC candidate callback and starts the
+// eager pump. Must be called before simulation when the policy has
+// Eager enabled.
+func (c *Controller) SetEagerSource(src EagerSource) {
+	c.eagerSource = src
+	if c.spec.Eager {
+		c.k.After(eagerPumpInterval, c.eagerPump)
+	}
+}
+
+// quotaTick closes a Wear Quota sample period on every bank (§IV-C).
+func (c *Controller) quotaTick(sim.Tick) {
+	for b := range c.quotas {
+		c.quotas[b].StartPeriod(c.meters[b].Damage())
+	}
+	c.k.After(c.spec.QuotaPeriod, c.quotaTick)
+}
+
+// eagerPump tops the Eager Mellow Queue up from the LLC.
+func (c *Controller) eagerPump(now sim.Tick) {
+	for len(c.eagerQ) < c.cfg.EagerQueue {
+		line, ok := c.eagerSource()
+		if !ok {
+			break
+		}
+		if c.findInQueue(c.eagerQ, line) != nil || c.findInQueue(c.writeQ, line) != nil {
+			continue
+		}
+		r := c.newRequest(KindEager, line, now)
+		c.eagerQ = append(c.eagerQ, r)
+		c.counts.EagerQueued++
+		c.scheduleSoon(r.Bank)
+	}
+	c.k.After(eagerPumpInterval, c.eagerPump)
+}
+
+// mapLine decomposes a line address into bank and row-buffer tag after
+// Start-Gap remapping within the bank.
+func (c *Controller) mapLine(line uint64) (bank int, bufTag uint64) {
+	bank = int(line & c.bankMask)
+	inBank := int64(line>>c.bankBits) % c.blocksPerBank
+	phys := c.gaps[bank].Map(inBank)
+	return bank, uint64(phys) / c.linesPerBuf
+}
+
+func (c *Controller) newRequest(kind Kind, line uint64, now sim.Tick) *Request {
+	bank, tag := c.mapLine(line)
+	return &Request{Kind: kind, Line: line, Bank: bank, bufTag: tag, arrive: now}
+}
+
+// rank returns the global rank a bank belongs to.
+func (c *Controller) rank(bank int) int { return bank / c.cfg.BanksPerRank }
+
+// channel returns the channel a bank's data bus belongs to. Banks are
+// line-interleaved, so adjacent lines alternate channels first.
+func (c *Controller) channel(bank int) int { return bank % c.cfg.Channels }
+
+// findInQueue returns the queued request for a line, or nil.
+func (c *Controller) findInQueue(q []*Request, line uint64) *Request {
+	for _, r := range q {
+		if r.Line == line {
+			return r
+		}
+	}
+	return nil
+}
+
+// removeFromQueue deletes r from q preserving order.
+func removeFromQueue(q []*Request, r *Request) []*Request {
+	for i, x := range q {
+		if x == r {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// oldestForBank returns the oldest queued request targeting bank.
+func oldestForBank(q []*Request, bank int) *Request {
+	var best *Request
+	for _, r := range q {
+		if r.Bank == bank && (best == nil || r.arrive < best.arrive) {
+			best = r
+		}
+	}
+	return best
+}
+
+// countForBank counts queue entries for a bank.
+func countForBank(q []*Request, bank int) int {
+	n := 0
+	for _, r := range q {
+		if r.Bank == bank {
+			n++
+		}
+	}
+	return n
+}
+
+// scheduleSoon defers a scheduling attempt to the event loop at the
+// current tick, so that requests submitted in the same cycle are all
+// visible in the queues before any of them issues (the paper's decision
+// logic inspects queue contents at issue time).
+func (c *Controller) scheduleSoon(bank int) {
+	c.k.At(c.k.Now(), func(t sim.Tick) { c.trySchedule(bank, t) })
+}
+
+// AdvanceTo lets the memory system run up to time t (e.g. while the core
+// computes without missing).
+func (c *Controller) AdvanceTo(t sim.Tick) { c.k.AdvanceTo(t) }
+
+// Now returns the memory-system clock.
+func (c *Controller) Now() sim.Tick { return c.k.Now() }
+
+// SubmitRead enqueues a demand read at time t (clamped to the memory
+// clock). If the read queue is full, the submission blocks (in simulated
+// time) until space frees. The returned request completes when Done().
+func (c *Controller) SubmitRead(line uint64, t sim.Tick) *Request {
+	c.advanceToAtLeast(t)
+	// Write-to-read forwarding: a queued or in-flight write to the same
+	// line has the data.
+	if r := c.findInQueue(c.writeQ, line); r != nil {
+		return c.forward(r)
+	}
+	if r := c.findInQueue(c.eagerQ, line); r != nil {
+		return c.forward(r)
+	}
+	for b := range c.banks {
+		if cur := c.banks[b].cur; cur != nil && cur.Kind != KindRead && cur.Line == line {
+			return c.forward(cur)
+		}
+	}
+	for len(c.readQ) >= c.cfg.ReadQueue {
+		c.waitForProgress(func() bool { return len(c.readQ) < c.cfg.ReadQueue })
+	}
+	now := c.k.Now()
+	r := c.newRequest(KindRead, line, now)
+	c.readQ = append(c.readQ, r)
+	c.maybePreemptForRead(r, now)
+	c.scheduleSoon(r.Bank)
+	return r
+}
+
+// forward completes a read instantly from write data.
+func (c *Controller) forward(w *Request) *Request {
+	c.counts.Forwarded++
+	now := c.k.Now()
+	return &Request{
+		Kind: KindRead, Line: w.Line, Bank: w.Bank,
+		arrive: now, done: true, doneAt: now + forwardLatency,
+	}
+}
+
+// SubmitWrite enqueues an LLC dirty write-back at time t. If the write
+// queue is full the submission blocks until space frees (the drain
+// machinery guarantees progress). It returns the acceptance time.
+func (c *Controller) SubmitWrite(line uint64, t sim.Tick) sim.Tick {
+	c.advanceToAtLeast(t)
+	// Coalesce with an already-queued write to the same line.
+	if c.findInQueue(c.writeQ, line) != nil {
+		c.counts.Coalesced++
+		return c.k.Now()
+	}
+	// A queued eager write to the line is stale relative to this
+	// write-back: replace it.
+	if e := c.findInQueue(c.eagerQ, line); e != nil {
+		c.eagerQ = removeFromQueue(c.eagerQ, e)
+	}
+	for len(c.writeQ) >= c.cfg.WriteQueue {
+		c.waitForProgress(func() bool { return len(c.writeQ) < c.cfg.WriteQueue })
+	}
+	now := c.k.Now()
+	r := c.newRequest(KindWrite, line, now)
+	c.writeQ = append(c.writeQ, r)
+	c.counts.WriteQueued++
+	c.updateDrainState(now)
+	c.scheduleSoon(r.Bank)
+	return now
+}
+
+// WaitRead advances simulated time until the read completes.
+func (c *Controller) WaitRead(r *Request) sim.Tick {
+	if !r.done {
+		c.k.AdvanceUntil(func() bool { return r.done })
+	}
+	return r.doneAt
+}
+
+// waitForProgress advances until cond holds, panicking if the event
+// queue empties first (which would mean the controller deadlocked).
+func (c *Controller) waitForProgress(cond func() bool) {
+	if !c.k.AdvanceUntil(cond) {
+		panic("mem: controller stalled waiting for queue space")
+	}
+}
+
+// advanceToAtLeast moves the kernel to t if t is in the future; the core
+// may lag slightly behind the memory clock after blocking submissions.
+func (c *Controller) advanceToAtLeast(t sim.Tick) {
+	if t > c.k.Now() {
+		c.k.AdvanceTo(t)
+	}
+}
+
+// maybePreemptForRead implements the two read-priority mechanisms: write
+// pausing (+WP; the pulse suspends and later resumes) and write
+// cancellation (§III; the pulse aborts and is redone). Pausing is tried
+// first — it wastes no work.
+func (c *Controller) maybePreemptForRead(r *Request, now sim.Tick) {
+	b := &c.banks[r.Bank]
+	if b.cur == nil || b.cur.Kind == KindRead {
+		return
+	}
+	if b.curPausable {
+		c.pauseWrite(r.Bank, now)
+		return
+	}
+	if !b.curCancellable {
+		return
+	}
+	w := b.cur
+	c.counts.Cancellations++
+	// The aborted pulse stressed the cell and dissipated power only for
+	// the fraction of the pulse that ran; wear and energy are pro-rated
+	// (§III: cancellation's lifetime penalty comes from the multiple
+	// partial attempts).
+	frac := 0.0
+	if now > b.curStart && b.freeAt > b.curStart {
+		frac = float64(now-b.curStart) / float64(b.freeAt-b.curStart)
+		if frac > 1 {
+			frac = 1
+		}
+	}
+	c.meters[r.Bank].RecordCancelled(w.mode, c.cfg.Device.Damage(w.mode)*frac)
+	c.energy.AddCancelled(c.em, w.mode, frac)
+	b.busy.AddBusy(b.curStart, now)
+	b.cur = nil
+	b.freeAt = now + cancelPenalty
+	// The write returns to the head of its queue for retry.
+	if w.Kind == KindEager {
+		c.eagerQ = append([]*Request{w}, c.eagerQ...)
+	} else {
+		c.writeQ = append([]*Request{w}, c.writeQ...)
+		c.updateDrainState(now)
+	}
+	// The pending completion event will find bank.cur changed and do
+	// nothing; schedule the read opportunity after the penalty.
+	bank := r.Bank
+	c.k.At(b.freeAt, func(t sim.Tick) { c.trySchedule(bank, t) })
+}
+
+// pauseWrite suspends the bank's in-flight write, remembering the pulse
+// remainder for the resume. Wear and energy accrue once, at completion.
+func (c *Controller) pauseWrite(bank int, now sim.Tick) {
+	b := &c.banks[bank]
+	w := b.cur
+	if b.freeAt <= now {
+		return // pulse effectively finished; let the completion event run
+	}
+	c.counts.Pauses++
+	w.remaining = b.freeAt - now
+	b.busy.AddBusy(b.curStart, now)
+	b.cur = nil
+	b.freeAt = now + cancelPenalty
+	if w.Kind == KindEager {
+		c.eagerQ = append([]*Request{w}, c.eagerQ...)
+	} else {
+		c.writeQ = append([]*Request{w}, c.writeQ...)
+		c.updateDrainState(now)
+	}
+	c.k.At(b.freeAt, func(t sim.Tick) { c.trySchedule(bank, t) })
+}
+
+// updateDrainState flips drain mode per the §VI-C thresholds.
+func (c *Controller) updateDrainState(now sim.Tick) {
+	if !c.draining && len(c.writeQ) >= c.cfg.DrainHigh {
+		c.draining = true
+		c.counts.Drains++
+		c.drainMeter.Set(true, now)
+	} else if c.draining && len(c.writeQ) <= c.cfg.DrainLow {
+		c.draining = false
+		c.drainMeter.Set(false, now)
+	}
+}
+
+// trySchedule issues the next request for a bank if it is idle.
+func (c *Controller) trySchedule(bank int, now sim.Tick) {
+	b := &c.banks[bank]
+	if b.cur != nil {
+		return
+	}
+	if b.freeAt > now {
+		// Bank in post-op recovery; an event at freeAt retries.
+		return
+	}
+	read := c.pickRead(bank)
+	write := oldestForBank(c.writeQ, bank)
+	switch {
+	case c.draining && write != nil:
+		c.issueWrite(write, now)
+	case read != nil:
+		c.issueRead(read, now)
+	case write != nil:
+		c.issueWrite(write, now)
+	default:
+		if eager := oldestForBank(c.eagerQ, bank); eager != nil {
+			c.issueEager(eager, now)
+		}
+	}
+}
+
+// pickRead chooses the next read for a bank: plain FCFS, or under
+// FR-FCFS the oldest row-buffer hit if one exists (first-ready FCFS).
+func (c *Controller) pickRead(bank int) *Request {
+	if c.cfg.Scheduler != "frfcfs" {
+		return oldestForBank(c.readQ, bank)
+	}
+	b := &c.banks[bank]
+	var hit, any *Request
+	for _, r := range c.readQ {
+		if r.Bank != bank {
+			continue
+		}
+		if any == nil || r.arrive < any.arrive {
+			any = r
+		}
+		if b.openValid && b.openTag == r.bufTag && (hit == nil || r.arrive < hit.arrive) {
+			hit = r
+		}
+	}
+	if hit != nil {
+		return hit
+	}
+	return any
+}
+
+// issueRead starts a read on its (idle) bank.
+func (c *Controller) issueRead(r *Request, now sim.Tick) {
+	b := &c.banks[r.Bank]
+	c.readQ = removeFromQueue(c.readQ, r)
+	start := now
+	var access sim.Tick
+	if b.openValid && b.openTag == r.bufTag {
+		c.counts.RowHits++
+		access = c.cfg.TCAS
+		c.energy.AddRowHitRead(c.em)
+	} else {
+		c.counts.RowMisses++
+		start = c.activateStart(r.Bank, now)
+		access = c.cfg.TRCD + c.cfg.TCAS
+		c.energy.AddBufferFill(c.em)
+		b.openValid = true
+		b.openTag = r.bufTag
+	}
+	c.counts.Reads++
+	burst := sim.Tick(c.cfg.BurstCycles) * sim.MemCycle
+	ch := c.channel(r.Bank)
+	accessEnd := start + access
+	xferStart := accessEnd
+	if c.busFree[ch] > xferStart {
+		xferStart = c.busFree[ch]
+	}
+	c.busFree[ch] = xferStart + burst
+	doneAt := xferStart + burst
+
+	b.cur = r
+	b.curCancellable = false
+	b.curStart = start
+	b.freeAt = accessEnd
+	r.attempts++
+	bank, gen := r.Bank, r.attempts
+	c.k.At(accessEnd, func(t sim.Tick) { c.completeBankOp(bank, r, gen, t) })
+	c.k.At(doneAt, func(t sim.Tick) {
+		r.done = true
+		r.doneAt = t
+		c.readLat.Add(uint64((t - r.arrive) / sim.TicksPerNS))
+	})
+}
+
+// activateStart returns the earliest time a row activation may start in
+// the bank's rank, honouring tFAW, and records the activation.
+func (c *Controller) activateStart(bank int, now sim.Tick) sim.Tick {
+	rk := c.rank(bank)
+	idx := c.rankActIdx[rk]
+	start := now
+	if c.rankActN[rk] >= 4 {
+		if oldest := c.rankAct[rk][idx]; oldest+c.cfg.TFAW > start {
+			start = oldest + c.cfg.TFAW
+		}
+	} else {
+		c.rankActN[rk]++
+	}
+	c.rankAct[rk][idx] = start
+	c.rankActIdx[rk] = (idx + 1) % 4
+	return start
+}
+
+// issueWrite starts a demand write-back, choosing its pulse per Fig. 9.
+func (c *Controller) issueWrite(w *Request, now sim.Tick) {
+	view := policy.QueueView{
+		WritesForBank: countForBank(c.writeQ, w.Bank),
+		QuotaExceeded: c.quotas[w.Bank].Exceeded(),
+		Draining:      c.draining,
+	}
+	dec := c.spec.DecideWrite(view)
+	c.writeQ = removeFromQueue(c.writeQ, w)
+	c.updateDrainState(now)
+	c.startWritePulse(w, dec, now)
+}
+
+// issueEager starts an eager mellow write.
+func (c *Controller) issueEager(w *Request, now sim.Tick) {
+	view := policy.QueueView{QuotaExceeded: c.quotas[w.Bank].Exceeded()}
+	dec := c.spec.DecideEager(view)
+	c.eagerQ = removeFromQueue(c.eagerQ, w)
+	c.startWritePulse(w, dec, now)
+}
+
+// startWritePulse occupies the bank for the chosen pulse — or for the
+// pulse remainder when resuming a paused write. The data burst on the
+// shared bus overlaps the start of the pulse.
+func (c *Controller) startWritePulse(w *Request, dec policy.WriteDecision, now sim.Tick) {
+	b := &c.banks[w.Bank]
+	start := now
+	ch := c.channel(w.Bank)
+	if c.busFree[ch] > start {
+		start = c.busFree[ch]
+	}
+	burst := sim.Tick(c.cfg.BurstCycles) * sim.MemCycle
+	c.busFree[ch] = start + burst
+	var pulse sim.Tick
+	if w.remaining > 0 {
+		// Resume: keep the original mode, pay only the remainder.
+		pulse = w.remaining + resumePenalty
+		w.remaining = 0
+	} else {
+		w.mode = dec.Mode
+		pulse = c.cfg.Device.WriteLatency(dec.Mode)
+	}
+	w.attempts++
+	end := start + pulse
+	b.cur = w
+	b.curCancellable = dec.Cancellable
+	b.curPausable = dec.Pausable
+	b.curStart = start
+	b.freeAt = end
+	bank, gen := w.Bank, w.attempts
+	c.k.At(end, func(t sim.Tick) { c.completeBankOp(bank, w, gen, t) })
+}
+
+// completeBankOp finishes the bank's current operation (unless it was
+// cancelled meanwhile — the issue generation gen guards against a stale
+// completion event matching a re-issued request) and schedules the next.
+func (c *Controller) completeBankOp(bank int, r *Request, gen int, now sim.Tick) {
+	b := &c.banks[bank]
+	if b.cur != r || r.attempts != gen {
+		return // cancelled; a retry was queued
+	}
+	b.cur = nil
+	b.busy.AddBusy(b.curStart, now)
+	if r.Kind != KindRead {
+		c.finishWrite(bank, r, now)
+		if b.freeAt > now {
+			// Start-Gap migration keeps the bank busy a little longer.
+			b.busy.AddBusy(now, b.freeAt)
+			c.k.At(b.freeAt, func(t sim.Tick) { c.trySchedule(bank, t) })
+			return
+		}
+	}
+	c.trySchedule(bank, now)
+}
+
+// finishWrite accounts wear, energy, Start-Gap movement and completion
+// for a write that ran to the end of its pulse.
+func (c *Controller) finishWrite(bank int, w *Request, now sim.Tick) {
+	b := &c.banks[bank]
+	c.meters[bank].Record(w.mode, c.cfg.Device.Damage(w.mode))
+	c.energy.AddWrite(c.em, w.mode)
+	if w.Kind == KindEager {
+		c.counts.EagerDone++
+	} else {
+		c.counts.WritesDone++
+	}
+	w.done = true
+	w.doneAt = now
+	if moved, rewritten := c.gaps[bank].OnWrite(); moved && rewritten >= 0 {
+		// The migration copy is one array read plus one normal write.
+		c.meters[bank].RecordGapMove()
+		c.energy.AddMigration(c.em)
+		b.freeAt = now + c.cfg.TRCD + c.cfg.Device.WriteLatency(nvm.WriteNormal)
+	}
+}

@@ -1,0 +1,124 @@
+package mem
+
+import (
+	"testing"
+
+	"mellow/internal/config"
+	"mellow/internal/nvm"
+	"mellow/internal/policy"
+	"mellow/internal/sim"
+)
+
+func TestWritePausingSuspendsAndResumes(t *testing.T) {
+	_, c := newCtl(policy.Slow().WithWP())
+	c.SubmitWrite(lineForBank(7, 1), 0)
+	c.AdvanceTo(sim.NS(100)) // 450 ns pulse under way
+	r := c.SubmitRead(lineForBank(7, 2), sim.NS(100))
+	done := c.WaitRead(r)
+	// The pause frees the bank almost immediately.
+	if done.Nanoseconds() > 300 {
+		t.Errorf("read done at %v ns; pause did not free the bank", done.Nanoseconds())
+	}
+	c.AdvanceTo(sim.NS(100000))
+	s := c.Snapshot()
+	if s.Pauses != 1 {
+		t.Errorf("pauses = %d, want 1", s.Pauses)
+	}
+	if s.Cancellations != 0 {
+		t.Errorf("cancellations = %d, want 0 (pausing, not cancelling)", s.Cancellations)
+	}
+	// The write completed exactly once, with a single wear record.
+	if s.WritesByMode[nvm.WriteSlow30] != 1 {
+		t.Errorf("writes = %v", s.WritesByMode)
+	}
+	if got := c.Meter(7).Snapshot().TotalAttempts(); got != 1 {
+		t.Errorf("wear attempts = %d, want 1 (pause redoes no work)", got)
+	}
+}
+
+func TestPausingCheaperThanCancellation(t *testing.T) {
+	// Under identical traffic, +WP must wear the memory no more than +SC
+	// (a cancelled pulse's partial work is wasted; a paused one is kept).
+	run := func(spec policy.Spec) (damage float64, completed uint64) {
+		k, c := newCtl(spec)
+		for i := 0; i < 60; i++ {
+			c.SubmitWrite(lineForBank(3, i+1), k.Now())
+			c.AdvanceTo(k.Now() + sim.NS(120))
+			r := c.SubmitRead(lineForBank(3, 1000+i), k.Now())
+			c.WaitRead(r)
+			c.AdvanceTo(k.Now() + sim.NS(200))
+		}
+		k.AdvanceTo(k.Now() + sim.NS(200000))
+		s := c.Snapshot()
+		return c.Meter(3).Damage(), s.TotalWrites()
+	}
+	scDamage, scDone := run(policy.Slow().WithSC())
+	wpDamage, wpDone := run(policy.Slow().WithWP())
+	if scDone != wpDone {
+		t.Fatalf("completed writes differ: SC %d vs WP %d", scDone, wpDone)
+	}
+	if wpDamage > scDamage {
+		t.Errorf("pausing wore more than cancelling: %v vs %v", wpDamage, scDamage)
+	}
+}
+
+func TestPauseTakesPrecedenceOverCancel(t *testing.T) {
+	_, c := newCtl(policy.Slow().WithSC().WithWP())
+	c.SubmitWrite(lineForBank(5, 1), 0)
+	c.AdvanceTo(sim.NS(150))
+	r := c.SubmitRead(lineForBank(5, 2), sim.NS(150))
+	c.WaitRead(r)
+	c.AdvanceTo(sim.NS(50000))
+	s := c.Snapshot()
+	if s.Pauses != 1 || s.Cancellations != 0 {
+		t.Errorf("pauses=%d cancels=%d, want pause to win", s.Pauses, s.Cancellations)
+	}
+}
+
+func TestPausedWriteKeepsMode(t *testing.T) {
+	// A bank-aware slow write paused mid-pulse must resume slow even if
+	// the queue has meanwhile filled with more writes (which would have
+	// graded a fresh decision to normal).
+	k, c := newCtl(policy.BMellow().WithWP())
+	c.SubmitWrite(lineForBank(2, 1), 0) // sole write: issues slow
+	c.AdvanceTo(sim.NS(100))
+	r := c.SubmitRead(lineForBank(2, 50), sim.NS(100)) // pauses it
+	c.WaitRead(r)
+	c.SubmitWrite(lineForBank(2, 2), k.Now()) // competition arrives
+	k.AdvanceTo(k.Now() + sim.NS(100000))
+	s := c.Snapshot()
+	if s.WritesByMode[nvm.WriteSlow30] < 1 {
+		t.Errorf("resumed write lost its slow mode: %v", s.WritesByMode)
+	}
+}
+
+func TestPausingDisabledDuringDrain(t *testing.T) {
+	_, c := newCtl(policy.Norm().WithWP())
+	for i := 0; i < 32; i++ {
+		c.SubmitWrite(lineForBank(0, i+1), 0)
+	}
+	if !c.Draining() {
+		t.Fatal("expected drain")
+	}
+	c.AdvanceTo(sim.NS(300))
+	// A read during the drain must not pause the draining write.
+	r := c.SubmitRead(lineForBank(0, 99), c.Now())
+	c.WaitRead(r)
+	if s := c.Snapshot(); s.Pauses != 0 {
+		t.Errorf("pauses during drain = %d, want 0", s.Pauses)
+	}
+}
+
+func TestPauseParse(t *testing.T) {
+	spec, err := policy.Parse("BE-Mellow+SC+WP+WQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Pausable || spec.Name != "BE-Mellow+SC+WP+WQ" {
+		t.Errorf("parsed: %+v", spec)
+	}
+	// Pausing composes with the default memory config.
+	if err := config.Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package mem
+
+import (
+	"mellow/internal/energy"
+	"mellow/internal/nvm"
+	"mellow/internal/policy"
+	"mellow/internal/sim"
+	"mellow/internal/stats"
+	"mellow/internal/wear"
+)
+
+// Snapshot is the controller's measurement view over the window since
+// the last ResetStats.
+type Snapshot struct {
+	Counters
+	// Window is the measurement window length.
+	Window sim.Tick
+	// WritesByMode / CancelledByMode aggregate bank write traffic.
+	WritesByMode    [4]uint64
+	CancelledByMode [4]uint64
+	// GapMoves counts Start-Gap migration writes.
+	GapMoves uint64
+	// BankAttempts is every request a bank serviced or started: reads,
+	// completed writes, cancelled attempts and migrations (Figure 15).
+	BankAttempts uint64
+	// EnergyPJ is total main-memory energy over the window (Figure 16);
+	// Energy carries the per-class breakdown.
+	EnergyPJ float64
+	Energy   energy.Breakdown
+	// DrainFraction is time spent in write-drain mode (Figure 13).
+	DrainFraction float64
+	// ReadLatency is the distribution of bank-serviced read latencies
+	// (arrival to data return), in nanoseconds. Forwarded reads are
+	// excluded.
+	ReadLatency stats.Histogram
+	// BankUtilization per bank, and the average (Figures 3, 12, 18b).
+	BankUtilization []float64
+	AvgUtilization  float64
+	// LifetimeYears is the §V lifetime: min over banks, Start-Gap
+	// efficiency applied, assuming the workload repeats (Figures 2, 11).
+	LifetimeYears float64
+	// MaxBankDamage is the worst bank's damage (normal-write units).
+	MaxBankDamage float64
+}
+
+// TotalWrites returns completed demand+eager writes across modes.
+func (s Snapshot) TotalWrites() uint64 {
+	var n uint64
+	for _, v := range s.WritesByMode {
+		n += v
+	}
+	return n
+}
+
+// SlowWrites returns completed slow-mode writes.
+func (s Snapshot) SlowWrites() uint64 {
+	var n uint64
+	for i := 1; i < len(s.WritesByMode); i++ {
+		n += s.WritesByMode[i]
+	}
+	return n
+}
+
+// TotalCancelled returns aborted write attempts.
+func (s Snapshot) TotalCancelled() uint64 {
+	var n uint64
+	for _, v := range s.CancelledByMode {
+		n += v
+	}
+	return n
+}
+
+// meterBase holds the per-bank wear baseline captured at ResetStats.
+type meterBase []wear.MeterSnapshot
+
+// Snapshot captures measurements at the current memory clock.
+func (c *Controller) Snapshot() Snapshot {
+	now := c.k.Now()
+	s := Snapshot{
+		Counters: c.counts,
+		Window:   now - c.statsStart,
+		Energy:   c.energy.Sub(c.energyBase),
+	}
+	s.EnergyPJ = s.Energy.TotalPJ()
+	s.DrainFraction = c.drainMeter.Fraction(now)
+	s.ReadLatency = c.readLat.Sub(c.readLatBase)
+	s.BankUtilization = make([]float64, len(c.banks))
+	sum := 0.0
+	maxDamage := 0.0
+	lifetime := 0.0
+	first := true
+	for b := range c.banks {
+		u := c.banks[b].busy.Utilization(now)
+		s.BankUtilization[b] = u
+		sum += u
+		d := c.meters[b].Snapshot().Sub(c.base[b])
+		for m := range d.Writes {
+			s.WritesByMode[m] += d.Writes[m]
+			s.CancelledByMode[m] += d.Cancelled[m]
+		}
+		s.GapMoves += d.GapWrites
+		s.BankAttempts += d.TotalAttempts()
+		if d.Damage > maxDamage {
+			maxDamage = d.Damage
+		}
+		y := wear.LifetimeYears(d.Damage, c.blocksPerBank, c.cfg.Device.BaseEndurance,
+			c.cfg.StartGapEfficiency, s.Window)
+		if first || y < lifetime {
+			lifetime = y
+			first = false
+		}
+	}
+	s.BankAttempts += c.counts.Reads
+	s.AvgUtilization = sum / float64(len(c.banks))
+	s.MaxBankDamage = maxDamage
+	s.LifetimeYears = lifetime
+	return s
+}
+
+// ResetStats starts a fresh measurement window (end of warmup). Wear
+// quota state and cache/bank contents are preserved; only measurements
+// reset.
+func (c *Controller) ResetStats() {
+	now := c.k.Now()
+	c.statsStart = now
+	c.counts = Counters{}
+	c.energyBase = c.energy
+	c.readLatBase = c.readLat
+	c.drainMeter.Reset(now)
+	if c.base == nil {
+		c.base = make(meterBase, len(c.banks))
+	}
+	for b := range c.banks {
+		c.banks[b].busy.Reset(now)
+		c.base[b] = c.meters[b].Snapshot()
+	}
+}
+
+// QueueDepths reports current queue occupancy (tests, debugging).
+func (c *Controller) QueueDepths() (read, write, eager int) {
+	return len(c.readQ), len(c.writeQ), len(c.eagerQ)
+}
+
+// Draining reports whether the controller is in write-drain mode.
+func (c *Controller) Draining() bool { return c.draining }
+
+// Quota exposes a bank's quota state (tests).
+func (c *Controller) Quota(bank int) *wear.Quota { return c.quotas[bank] }
+
+// Meter exposes a bank's wear meter (tests).
+func (c *Controller) Meter(bank int) *wear.Meter { return c.meters[bank] }
+
+// Spec returns the active policy (a value copy).
+func (c *Controller) Spec() policy.Spec { return c.spec }
+
+// Device returns the device model in use.
+func (c *Controller) Device() nvm.Device { return c.cfg.Device }

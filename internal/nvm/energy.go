@@ -1,0 +1,122 @@
+package nvm
+
+import "fmt"
+
+// Cell identifies one of the five ReRAM cell design points of Table V,
+// distinguished by their normal set/reset energy per cell. Set and reset
+// energies are equal in the table, so one number suffices.
+type Cell uint8
+
+// The five cell presets of Table V.
+const (
+	CellA Cell = iota // 0.1 pJ per cell set/reset
+	CellB             // 0.2 pJ
+	CellC             // 0.4 pJ — used for the Figure 16 whole-memory totals
+	CellD             // 0.8 pJ
+	CellE             // 1.6 pJ
+	numCells
+)
+
+// String returns the Table V name of the cell.
+func (c Cell) String() string {
+	if c >= numCells {
+		return fmt.Sprintf("Cell(%d)", int(c))
+	}
+	return "Cell" + string(rune('A'+c))
+}
+
+// NormalCellEnergyPJ returns the per-cell set/reset energy of a normal
+// write, in picojoules (Table V).
+func (c Cell) NormalCellEnergyPJ() float64 {
+	switch c {
+	case CellA:
+		return 0.1
+	case CellB:
+		return 0.2
+	case CellC:
+		return 0.4
+	case CellD:
+		return 0.8
+	case CellE:
+		return 1.6
+	default:
+		panic(fmt.Sprintf("nvm: invalid cell %d", c))
+	}
+}
+
+// Energy-model constants of §VI-F. The paper assumes a 3× slow write
+// dissipates 0.767× the power of a normal write, hence 3 × 0.767 = 2.3×
+// the per-cell energy. Table VI (nvsim output) is reproduced exactly by
+// a linear array model: a 64-byte line writes 512 bits, of which half are
+// set and half reset, with a 2× array-level overhead (half-selected cells
+// and write drivers), plus a fixed peripheral energy per operation.
+const (
+	// SlowCellEnergyRatio is the per-cell energy of a 3× slow write
+	// relative to normal (0.767 power × 3.0 time).
+	SlowCellEnergyRatio = 2.3
+	// CellsPerLine is the number of cells set (or reset) per 64-byte
+	// line write: 512 bits, half set and half reset → 256 of each.
+	CellsPerLine = 256
+	// ArrayOverheadFactor is the array-level multiplier on raw cell
+	// energy (half-selected leakage and driver loss).
+	ArrayOverheadFactor = 2.0
+	// PeripheralWriteNormalPJ is the fixed decode/sense/control energy
+	// of a normal line write (fitted to Table VI; exact to <0.5%).
+	PeripheralWriteNormalPJ = 197.6
+	// PeripheralWriteSlowPJ is the same for a 3× slow write.
+	PeripheralWriteSlowPJ = 196.74
+	// BufferReadPJ is a row-buffer fill (array read of one row), Table VI.
+	BufferReadPJ = 1503.0
+	// RowHitReadPJ is a read served from the open row buffer (§VI-F).
+	RowHitReadPJ = 100.0
+)
+
+// EnergyModel computes per-operation main-memory energies for one cell
+// preset, matching Table VI.
+type EnergyModel struct {
+	Cell Cell
+}
+
+// WriteEnergyPJ returns the energy of one 64-byte line write in the given
+// mode, in picojoules.
+//
+// Only the normal and 3× slow pulses appear in Table VI; intermediate
+// pulses interpolate the per-cell energy linearly in pulse time at the
+// corresponding reduced power (power ratio interpolated between 1.0 at 1×
+// and 0.767 at 3×).
+func (e EnergyModel) WriteEnergyPJ(m WriteMode) float64 {
+	cell := e.Cell.NormalCellEnergyPJ()
+	var cellEnergy, peripheral float64
+	switch m {
+	case WriteNormal:
+		cellEnergy = cell
+		peripheral = PeripheralWriteNormalPJ
+	case WriteSlow30:
+		cellEnergy = cell * SlowCellEnergyRatio
+		peripheral = PeripheralWriteSlowPJ
+	default:
+		// Linear interpolation in the latency multiplier between the two
+		// calibrated points.
+		n := m.Multiplier()
+		frac := (n - 1.0) / 2.0 // 0 at 1×, 1 at 3×
+		cellEnergy = cell * (1 + frac*(SlowCellEnergyRatio-1))
+		peripheral = PeripheralWriteNormalPJ + frac*(PeripheralWriteSlowPJ-PeripheralWriteNormalPJ)
+	}
+	return ArrayOverheadFactor*CellsPerLine*cellEnergy + peripheral
+}
+
+// BufferReadEnergyPJ returns the energy of filling the row buffer from
+// the array (a row miss on a read).
+func (e EnergyModel) BufferReadEnergyPJ() float64 { return BufferReadPJ }
+
+// RowHitReadEnergyPJ returns the energy of a read served by the open row.
+func (e EnergyModel) RowHitReadEnergyPJ() float64 { return RowHitReadPJ }
+
+// SlowNormalRatio returns the slow/normal write energy ratio — the last
+// column of Table VI.
+func (e EnergyModel) SlowNormalRatio() float64 {
+	return e.WriteEnergyPJ(WriteSlow30) / e.WriteEnergyPJ(WriteNormal)
+}
+
+// Cells returns all five presets in table order.
+func Cells() []Cell { return []Cell{CellA, CellB, CellC, CellD, CellE} }

@@ -1,0 +1,200 @@
+package nvm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mellow/internal/sim"
+)
+
+func TestWriteLatenciesMatchTableII(t *testing.T) {
+	d := DefaultDevice()
+	cases := []struct {
+		mode WriteMode
+		ns   uint64
+	}{
+		{WriteNormal, 150},
+		{WriteSlow15, 225},
+		{WriteSlow20, 300},
+		{WriteSlow30, 450},
+	}
+	for _, c := range cases {
+		if got := d.WriteLatency(c.mode); got != sim.NS(c.ns) {
+			t.Errorf("%v latency = %v ticks, want %v ns", c.mode, got, c.ns)
+		}
+	}
+}
+
+func TestEnduranceMatchesTableII(t *testing.T) {
+	d := DefaultDevice() // ExpoFactor 2.0
+	cases := []struct {
+		mode WriteMode
+		want float64
+	}{
+		{WriteNormal, 5.0e6},
+		{WriteSlow15, 1.125e7},
+		{WriteSlow20, 2.0e7},
+		{WriteSlow30, 4.5e7},
+	}
+	for _, c := range cases {
+		if got := d.Endurance(c.mode); math.Abs(got-c.want)/c.want > 1e-9 {
+			t.Errorf("%v endurance = %g, want %g", c.mode, got, c.want)
+		}
+	}
+}
+
+func TestEnduranceExpoFactors(t *testing.T) {
+	// Figure 1: five ExpoFactor curves; at N=3 they give 3, 5.2, 9, 15.6,
+	// 27 × base endurance respectively.
+	for _, expo := range []float64{1.0, 1.5, 2.0, 2.5, 3.0} {
+		d := DefaultDevice()
+		d.ExpoFactor = expo
+		want := BaseEndurance * math.Pow(3, expo)
+		if got := d.Endurance(WriteSlow30); math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("expo %v: endurance = %g, want %g", expo, got, want)
+		}
+	}
+}
+
+func TestDamageReciprocal(t *testing.T) {
+	d := DefaultDevice()
+	if got := d.Damage(WriteNormal); got != 1.0 {
+		t.Errorf("normal damage = %v, want 1", got)
+	}
+	if got := d.Damage(WriteSlow30); math.Abs(got-1.0/9.0) > 1e-12 {
+		t.Errorf("3x slow damage = %v, want 1/9", got)
+	}
+}
+
+// Property: endurance is monotonically nondecreasing in the latency
+// multiplier and damage monotonically nonincreasing, for any ExpoFactor
+// in [1,3].
+func TestQuickEnduranceMonotone(t *testing.T) {
+	f := func(e8, a8, b8 uint8) bool {
+		expo := 1.0 + 2.0*float64(e8)/255.0
+		na := 1.0 + 2.0*float64(a8)/255.0
+		nb := 1.0 + 2.0*float64(b8)/255.0
+		if na > nb {
+			na, nb = nb, na
+		}
+		d := DefaultDevice()
+		d.ExpoFactor = expo
+		return d.EnduranceAt(na) <= d.EnduranceAt(nb)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeForMultiplier(t *testing.T) {
+	for _, m := range []WriteMode{WriteNormal, WriteSlow15, WriteSlow20, WriteSlow30} {
+		got, err := ModeForMultiplier(m.Multiplier())
+		if err != nil || got != m {
+			t.Errorf("ModeForMultiplier(%v) = %v, %v", m.Multiplier(), got, err)
+		}
+	}
+	if _, err := ModeForMultiplier(2.5); err == nil {
+		t.Error("ModeForMultiplier(2.5) should fail")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if WriteNormal.String() != "normal" || WriteSlow30.String() != "slow3.0x" {
+		t.Errorf("unexpected mode names: %v %v", WriteNormal, WriteSlow30)
+	}
+	if WriteNormal.IsSlow() {
+		t.Error("normal mode reported slow")
+	}
+	if !WriteSlow15.IsSlow() {
+		t.Error("1.5x mode not reported slow")
+	}
+}
+
+// TestEnergyMatchesTableVI checks the nvsim-lite model against every row
+// of Table VI.
+func TestEnergyMatchesTableVI(t *testing.T) {
+	rows := []struct {
+		cell        Cell
+		norm, slow  float64
+		ratio       float64
+		ratioSlack  float64
+		energySlack float64
+	}{
+		{CellA, 248.8, 314.5, 1.26, 0.01, 0.005},
+		{CellB, 300.0, 432.3, 1.44, 0.01, 0.005},
+		{CellC, 402.4, 667.8, 1.66, 0.01, 0.005},
+		{CellD, 607.2, 1138.8, 1.88, 0.01, 0.005},
+		{CellE, 1016.8, 2080.9, 2.05, 0.01, 0.005},
+	}
+	for _, r := range rows {
+		m := EnergyModel{Cell: r.cell}
+		if got := m.WriteEnergyPJ(WriteNormal); math.Abs(got-r.norm)/r.norm > r.energySlack {
+			t.Errorf("%v normal write = %.1f pJ, want %.1f", r.cell, got, r.norm)
+		}
+		if got := m.WriteEnergyPJ(WriteSlow30); math.Abs(got-r.slow)/r.slow > r.energySlack {
+			t.Errorf("%v slow write = %.1f pJ, want %.1f", r.cell, got, r.slow)
+		}
+		if got := m.SlowNormalRatio(); math.Abs(got-r.ratio) > r.ratioSlack {
+			t.Errorf("%v slow/normal ratio = %.3f, want %.2f", r.cell, got, r.ratio)
+		}
+		if m.BufferReadEnergyPJ() != 1503.0 {
+			t.Errorf("buffer read = %v, want 1503", m.BufferReadEnergyPJ())
+		}
+	}
+}
+
+func TestEnergyRatioShrinksWithCheaperCells(t *testing.T) {
+	// §VI-F: as cell write energy decreases, peripheral energy dominates
+	// and the slow/normal ratio approaches 1.
+	prev := 0.0
+	for _, c := range Cells() {
+		r := EnergyModel{Cell: c}.SlowNormalRatio()
+		if r <= prev {
+			t.Fatalf("ratio not increasing with cell energy: %v at %v after %v", r, c, prev)
+		}
+		prev = r
+	}
+}
+
+func TestIntermediateModeEnergyBetween(t *testing.T) {
+	m := EnergyModel{Cell: CellC}
+	n := m.WriteEnergyPJ(WriteNormal)
+	s15 := m.WriteEnergyPJ(WriteSlow15)
+	s20 := m.WriteEnergyPJ(WriteSlow20)
+	s30 := m.WriteEnergyPJ(WriteSlow30)
+	if !(n < s15 && s15 < s20 && s20 < s30) {
+		t.Errorf("write energies not monotone in pulse time: %v %v %v %v", n, s15, s20, s30)
+	}
+}
+
+func TestCellNames(t *testing.T) {
+	if CellA.String() != "CellA" || CellE.String() != "CellE" {
+		t.Errorf("cell names wrong: %v %v", CellA, CellE)
+	}
+	if len(Cells()) != 5 {
+		t.Errorf("Cells() has %d entries, want 5", len(Cells()))
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 4 || ps[0].Name != "ReRAM (paper baseline)" {
+		t.Fatalf("presets: %v", ps)
+	}
+	for _, p := range ps {
+		if p.Device.BaseLatency == 0 || p.Device.BaseEndurance <= 0 {
+			t.Errorf("%s: incomplete device %+v", p.Name, p.Device)
+		}
+		if p.Device.ExpoFactor < 1 || p.Device.ExpoFactor > 3 {
+			t.Errorf("%s: ExpoFactor %v outside the paper's range", p.Name, p.Device.ExpoFactor)
+		}
+		// Equation 2 behaves for every preset.
+		if p.Device.Endurance(WriteSlow30) <= p.Device.Endurance(WriteNormal) {
+			t.Errorf("%s: slow writes do not extend endurance", p.Name)
+		}
+	}
+	if PCMDevice().BaseEndurance <= DefaultDevice().BaseEndurance {
+		t.Error("PCM preset should out-endure baseline ReRAM")
+	}
+}

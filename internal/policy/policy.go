@@ -1,0 +1,347 @@
+// Package policy defines the memory write policies of Table III and the
+// slow-vs-normal decision logic of Figure 9 — the paper's central
+// contribution.
+//
+// A policy is a Spec: a base write mode, the two Mellow Writes mechanisms
+// (bank-aware and eager), the cancellation options (+NC/+SC) and the Wear
+// Quota scheme (+WQ). Policies are pure data plus pure decision
+// functions; the memory controller (package mem) feeds them queue state
+// and quota state.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mellow/internal/nvm"
+	"mellow/internal/sim"
+)
+
+// Spec describes one memory write policy.
+type Spec struct {
+	// Name is the canonical Table III name, e.g. "BE-Mellow+SC+WQ".
+	Name string
+	// StaticMode is the pulse used for ordinary write-queue writes when
+	// no mellow rule fires: Normal for Norm-family policies, the slow
+	// pulse for Slow-family ones.
+	StaticMode nvm.WriteMode
+	// SlowMode is the slow pulse used by mellow decisions and by the
+	// eager queue (the paper's default is the 3.0× pulse).
+	SlowMode nvm.WriteMode
+	// BankAware enables Bank-Aware Mellow Writes (§IV-A).
+	BankAware bool
+	// Eager enables Eager Mellow Writes (§IV-B).
+	Eager bool
+	// EagerMode is the pulse for eager write-backs. In the Mellow
+	// schemes the eager queue only issues slow writes; the static
+	// E-Norm policy eagerly writes back at normal speed.
+	EagerMode nvm.WriteMode
+	// NormalCancellable (+NC) lets an incoming read cancel an in-flight
+	// normal write to its bank.
+	NormalCancellable bool
+	// SlowCancellable (+SC) does the same for slow writes.
+	SlowCancellable bool
+	// Pausable (+WP) enables write pausing (Qureshi et al., HPCA 2010,
+	// §VII): an incoming read suspends the in-flight write, which later
+	// resumes from where it stopped instead of being redone. Pausing
+	// takes precedence over cancellation when both are enabled.
+	Pausable bool
+	// WearQuota (+WQ) enables the guaranteed-lifetime scheme (§IV-C).
+	WearQuota bool
+	// MultiLatency (+ML) enables the paper's future-work extension
+	// (§VI-I, §VIII): instead of choosing between just the normal and the
+	// 3× pulse, a bank-aware decision grades the pulse by queue pressure —
+	// the fewer writes competing for the bank, the slower (and gentler)
+	// the pulse.
+	MultiLatency bool
+	// TargetLifetime is the Wear Quota lifetime floor (8 years).
+	TargetLifetime Years
+	// QuotaRatio is Ratio_quota (0.9: headroom for Start-Gap slack).
+	QuotaRatio float64
+	// QuotaPeriod is the Wear Quota sample period (500 µs).
+	QuotaPeriod sim.Tick
+}
+
+// Years is a duration in years, the paper's lifetime unit.
+type Years float64
+
+// Ticks converts a year count to simulation ticks.
+func (y Years) Ticks() sim.Tick {
+	return sim.Tick(float64(y) * SecondsPerYear * 1e9 * sim.TicksPerNS)
+}
+
+// SecondsPerYear uses the Julian year.
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// Default Wear Quota parameters (Table II).
+const (
+	DefaultTargetLifetime Years   = 8
+	DefaultQuotaRatio     float64 = 0.90
+)
+
+// DefaultQuotaPeriod is the Wear Quota sample period (500,000 ns).
+func DefaultQuotaPeriod() sim.Tick { return sim.NS(500000) }
+
+// WriteDecision reports how a write should be issued.
+type WriteDecision struct {
+	Mode        nvm.WriteMode
+	Cancellable bool
+	Pausable    bool
+}
+
+// QueueView is the controller state the decision logic inspects for one
+// bank, mirroring Figures 4–6 and 9.
+type QueueView struct {
+	// WritesForBank is the number of write-queue entries for the bank,
+	// including the candidate write itself.
+	WritesForBank int
+	// QuotaExceeded reports whether the bank exhausted its Wear Quota in
+	// previous periods (ExceedQuota > 0).
+	QuotaExceeded bool
+	// Draining reports whether the controller is in write-drain mode.
+	Draining bool
+}
+
+// DecideWrite implements Figure 9 for a write picked from the write
+// queue. The caller guarantees no read is pending for the bank (reads
+// always have priority).
+func (s Spec) DecideWrite(v QueueView) WriteDecision {
+	mode := s.StaticMode
+	switch {
+	case s.WearQuota && v.QuotaExceeded:
+		// Quota exhausted: only slow writes this period.
+		mode = s.SlowMode
+	case s.BankAware && s.MultiLatency:
+		mode = gradedMode(v.WritesForBank, s.StaticMode)
+	case s.BankAware && v.WritesForBank == 1:
+		// Sole request for the bank: free to be mellow.
+		mode = s.SlowMode
+	}
+	return WriteDecision{
+		Mode:        mode,
+		Cancellable: s.cancellable(mode, v.Draining),
+		Pausable:    s.Pausable && !v.Draining,
+	}
+}
+
+// gradedMode implements the multi-latency extension: pulse speed graded
+// by how many writes compete for the bank.
+func gradedMode(writesForBank int, fallback nvm.WriteMode) nvm.WriteMode {
+	switch writesForBank {
+	case 1:
+		return nvm.WriteSlow30
+	case 2:
+		return nvm.WriteSlow20
+	case 3:
+		return nvm.WriteSlow15
+	default:
+		return fallback
+	}
+}
+
+// DecideEager returns the decision for an entry issued from the Eager
+// Mellow Queue. The caller guarantees the bank has no read- or
+// write-queue entries.
+func (s Spec) DecideEager(v QueueView) WriteDecision {
+	mode := s.EagerMode
+	if s.WearQuota && v.QuotaExceeded {
+		mode = s.SlowMode
+	}
+	// Eager writes never participate in drains, so Draining is forced
+	// false for cancellability: cancelling them cannot cause a drain
+	// (§V: "the eager write queue does not trigger write drains, so
+	// cancelling eager slow writes will not increase the possibility of
+	// write drains").
+	return WriteDecision{Mode: mode, Cancellable: s.cancellable(mode, false), Pausable: s.Pausable}
+}
+
+// cancellable reports whether a write in the given mode may be cancelled
+// by an incoming read. Writes are never cancellable while the controller
+// drains: the drain exists to free the write queue, and cancelling its
+// writes would livelock it.
+func (s Spec) cancellable(mode nvm.WriteMode, draining bool) bool {
+	if draining {
+		return false
+	}
+	if mode.IsSlow() {
+		return s.SlowCancellable
+	}
+	return s.NormalCancellable
+}
+
+// base constructs the six basic policies of Table III.
+func base(name string, static nvm.WriteMode, bankAware, eager bool, eagerMode nvm.WriteMode) Spec {
+	return Spec{
+		Name:           name,
+		StaticMode:     static,
+		SlowMode:       nvm.WriteSlow30,
+		BankAware:      bankAware,
+		Eager:          eager,
+		EagerMode:      eagerMode,
+		TargetLifetime: DefaultTargetLifetime,
+		QuotaRatio:     DefaultQuotaRatio,
+		QuotaPeriod:    DefaultQuotaPeriod(),
+	}
+}
+
+// The six basic policies of Table III.
+func Norm() Spec { return base("Norm", nvm.WriteNormal, false, false, nvm.WriteNormal) }
+
+// Slow uses only slow writes.
+func Slow() Spec { return base("Slow", nvm.WriteSlow30, false, false, nvm.WriteSlow30) }
+
+// BMellow is Bank-Aware Mellow Writes.
+func BMellow() Spec { return base("B-Mellow", nvm.WriteNormal, true, false, nvm.WriteSlow30) }
+
+// BEMellow combines Bank-Aware and Eager Mellow Writes.
+func BEMellow() Spec { return base("BE-Mellow", nvm.WriteNormal, true, true, nvm.WriteSlow30) }
+
+// ENorm is normal writes plus eager (normal-speed) write-backs.
+func ENorm() Spec { return base("E-Norm", nvm.WriteNormal, false, true, nvm.WriteNormal) }
+
+// ESlow is slow writes plus eager slow write-backs.
+func ESlow() Spec { return base("E-Slow", nvm.WriteSlow30, false, true, nvm.WriteSlow30) }
+
+// WithNC returns the policy with normal writes cancellable.
+func (s Spec) WithNC() Spec {
+	s.NormalCancellable = true
+	s.Name += "+NC"
+	return s
+}
+
+// WithSC returns the policy with slow writes cancellable.
+func (s Spec) WithSC() Spec {
+	s.SlowCancellable = true
+	s.Name += "+SC"
+	return s
+}
+
+// WithWQ returns the policy with the Wear Quota scheme enabled.
+func (s Spec) WithWQ() Spec {
+	s.WearQuota = true
+	s.Name += "+WQ"
+	return s
+}
+
+// WithWP returns the policy with write pausing enabled.
+func (s Spec) WithWP() Spec {
+	s.Pausable = true
+	s.Name += "+WP"
+	return s
+}
+
+// WithML returns the policy with multi-latency graded pulses enabled
+// (only meaningful for bank-aware policies).
+func (s Spec) WithML() Spec {
+	s.MultiLatency = true
+	s.Name += "+ML"
+	return s
+}
+
+// WithSlowMode returns the policy using a different slow pulse (the
+// motivation study sweeps 1.5×, 2× and 3×). The static mode follows for
+// Slow-family policies.
+func (s Spec) WithSlowMode(m nvm.WriteMode) Spec {
+	if s.StaticMode.IsSlow() {
+		s.StaticMode = m
+	}
+	if s.EagerMode.IsSlow() {
+		s.EagerMode = m
+	}
+	s.SlowMode = m
+	if m != nvm.WriteSlow30 {
+		s.Name += fmt.Sprintf("@%gx", m.Multiplier())
+	}
+	return s
+}
+
+// Parse resolves a canonical policy name such as "BE-Mellow+SC+WQ" or
+// "Slow@1.5x+NC".
+func Parse(name string) (Spec, error) {
+	parts := strings.Split(name, "+")
+	head := parts[0]
+	var mult string
+	if i := strings.Index(head, "@"); i >= 0 {
+		mult = head[i+1:]
+		head = head[:i]
+	}
+	var s Spec
+	switch head {
+	case "Norm":
+		s = Norm()
+	case "Slow":
+		s = Slow()
+	case "B-Mellow":
+		s = BMellow()
+	case "BE-Mellow":
+		s = BEMellow()
+	case "E-Norm":
+		s = ENorm()
+	case "E-Slow":
+		s = ESlow()
+	default:
+		return Spec{}, fmt.Errorf("policy: unknown base policy %q", head)
+	}
+	if mult != "" {
+		var n float64
+		if _, err := fmt.Sscanf(mult, "%gx", &n); err != nil {
+			return Spec{}, fmt.Errorf("policy: bad multiplier %q in %q", mult, name)
+		}
+		m, err := nvm.ModeForMultiplier(n)
+		if err != nil {
+			return Spec{}, err
+		}
+		s = s.WithSlowMode(m)
+	}
+	for _, mod := range parts[1:] {
+		switch mod {
+		case "NC":
+			s = s.WithNC()
+		case "SC":
+			s = s.WithSC()
+		case "WQ":
+			s = s.WithWQ()
+		case "WP":
+			s = s.WithWP()
+		case "ML":
+			s = s.WithML()
+		default:
+			return Spec{}, fmt.Errorf("policy: unknown modifier %q in %q", mod, name)
+		}
+	}
+	return s, nil
+}
+
+// EvaluationSet returns the policy line-up of Figures 10–16, in the
+// paper's presentation order.
+func EvaluationSet() []Spec {
+	return []Spec{
+		Norm(),
+		ENorm().WithNC(),
+		Slow(),
+		ESlow().WithSC(),
+		BMellow().WithSC(),
+		BEMellow().WithSC(),
+		Norm().WithWQ(),
+		BMellow().WithSC().WithWQ(),
+		BEMellow().WithSC().WithWQ(),
+	}
+}
+
+// Names returns the canonical names of a policy set, for table headers.
+func Names(specs []Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Registry lists every named preset reachable from Parse, sorted, for
+// CLI help text.
+func Registry() []string {
+	names := []string{"Norm", "Slow", "B-Mellow", "BE-Mellow", "E-Norm", "E-Slow"}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,254 @@
+package policy
+
+import (
+	"testing"
+
+	"mellow/internal/nvm"
+)
+
+func TestFigure9Decisions(t *testing.T) {
+	be := BEMellow().WithSC().WithWQ()
+	cases := []struct {
+		name string
+		view QueueView
+		want nvm.WriteMode
+	}{
+		{"single request in WQ -> slow", QueueView{WritesForBank: 1}, nvm.WriteSlow30},
+		{"multiple requests, quota ok -> normal", QueueView{WritesForBank: 3}, nvm.WriteNormal},
+		{"multiple requests, quota exceeded -> slow", QueueView{WritesForBank: 3, QuotaExceeded: true}, nvm.WriteSlow30},
+	}
+	for _, c := range cases {
+		if got := be.DecideWrite(c.view).Mode; got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Empty write queue + eager entry -> slow write from the eager queue.
+	if got := be.DecideEager(QueueView{}).Mode; got != nvm.WriteSlow30 {
+		t.Errorf("eager issue: got %v, want slow", got)
+	}
+}
+
+func TestNormAlwaysNormal(t *testing.T) {
+	n := Norm()
+	for w := 0; w <= 5; w++ {
+		if got := n.DecideWrite(QueueView{WritesForBank: w}).Mode; got != nvm.WriteNormal {
+			t.Errorf("Norm with %d writes: got %v", w, got)
+		}
+	}
+}
+
+func TestSlowAlwaysSlow(t *testing.T) {
+	s := Slow()
+	for w := 1; w <= 5; w++ {
+		if got := s.DecideWrite(QueueView{WritesForBank: w}).Mode; got != nvm.WriteSlow30 {
+			t.Errorf("Slow with %d writes: got %v", w, got)
+		}
+	}
+}
+
+func TestBankAwareOnlyWhenSole(t *testing.T) {
+	b := BMellow()
+	if got := b.DecideWrite(QueueView{WritesForBank: 1}).Mode; got != nvm.WriteSlow30 {
+		t.Errorf("sole write should be slow, got %v", got)
+	}
+	if got := b.DecideWrite(QueueView{WritesForBank: 2}).Mode; got != nvm.WriteNormal {
+		t.Errorf("two writes should be normal, got %v", got)
+	}
+}
+
+func TestQuotaForcesSlowEverywhere(t *testing.T) {
+	for _, s := range []Spec{Norm().WithWQ(), BMellow().WithSC().WithWQ(), BEMellow().WithSC().WithWQ()} {
+		if got := s.DecideWrite(QueueView{WritesForBank: 4, QuotaExceeded: true}).Mode; got != nvm.WriteSlow30 {
+			t.Errorf("%s: quota-exceeded write = %v, want slow", s.Name, got)
+		}
+		if s.Eager {
+			if got := s.DecideEager(QueueView{QuotaExceeded: true}).Mode; got != nvm.WriteSlow30 {
+				t.Errorf("%s: quota-exceeded eager = %v, want slow", s.Name, got)
+			}
+		}
+	}
+	// Without +WQ, quota state must be ignored.
+	b := BMellow()
+	if got := b.DecideWrite(QueueView{WritesForBank: 4, QuotaExceeded: true}).Mode; got != nvm.WriteNormal {
+		t.Errorf("no-WQ policy honoured quota: %v", got)
+	}
+}
+
+func TestEagerModes(t *testing.T) {
+	if got := ENorm().DecideEager(QueueView{}).Mode; got != nvm.WriteNormal {
+		t.Errorf("E-Norm eager mode = %v, want normal", got)
+	}
+	if got := ESlow().DecideEager(QueueView{}).Mode; got != nvm.WriteSlow30 {
+		t.Errorf("E-Slow eager mode = %v, want slow", got)
+	}
+	if got := BEMellow().DecideEager(QueueView{}).Mode; got != nvm.WriteSlow30 {
+		t.Errorf("BE-Mellow eager mode = %v, want slow", got)
+	}
+}
+
+func TestCancellability(t *testing.T) {
+	nc := Norm().WithNC()
+	if !nc.DecideWrite(QueueView{WritesForBank: 2}).Cancellable {
+		t.Error("+NC normal write not cancellable")
+	}
+	if Norm().DecideWrite(QueueView{WritesForBank: 2}).Cancellable {
+		t.Error("plain Norm write cancellable")
+	}
+	sc := BEMellow().WithSC()
+	if !sc.DecideWrite(QueueView{WritesForBank: 1}).Cancellable {
+		t.Error("+SC slow write not cancellable")
+	}
+	if sc.DecideWrite(QueueView{WritesForBank: 2}).Cancellable {
+		t.Error("+SC normal write cancellable without +NC")
+	}
+	// Draining writes are never cancellable.
+	if nc.DecideWrite(QueueView{WritesForBank: 2, Draining: true}).Cancellable {
+		t.Error("draining write cancellable")
+	}
+	// Eager writes are cancellable under +SC even during a drain of the
+	// normal queue.
+	if !sc.DecideEager(QueueView{Draining: true}).Cancellable {
+		t.Error("eager slow write not cancellable under +SC")
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Spec{
+		"Norm":              Norm(),
+		"Slow":              Slow(),
+		"B-Mellow+SC":       BMellow().WithSC(),
+		"BE-Mellow+SC+WQ":   BEMellow().WithSC().WithWQ(),
+		"E-Norm+NC":         ENorm().WithNC(),
+		"E-Slow+SC":         ESlow().WithSC(),
+		"Slow@1.5x":         Slow().WithSlowMode(nvm.WriteSlow15),
+		"Slow@2x":           Slow().WithSlowMode(nvm.WriteSlow20),
+		"BE-Mellow@1.5x+SC": BEMellow().WithSlowMode(nvm.WriteSlow15).WithSC(),
+	}
+	for want, s := range cases {
+		if s.Name != want {
+			t.Errorf("Name = %q, want %q", s.Name, want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	names := []string{
+		"Norm", "Slow", "B-Mellow+SC", "BE-Mellow+SC", "BE-Mellow+SC+WQ",
+		"E-Norm+NC", "E-Slow+SC", "Norm+WQ", "Slow@1.5x", "Slow@2x+NC",
+	}
+	for _, n := range names {
+		s, err := Parse(n)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", n, err)
+			continue
+		}
+		if s.Name != n {
+			t.Errorf("Parse(%q).Name = %q", n, s.Name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, n := range []string{"", "Bogus", "Norm+XX", "Slow@7x", "Slow@x"} {
+		if _, err := Parse(n); err == nil {
+			t.Errorf("Parse(%q) should fail", n)
+		}
+	}
+}
+
+func TestParseSemantics(t *testing.T) {
+	s, err := Parse("BE-Mellow+SC+WQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.BankAware || !s.Eager || !s.SlowCancellable || s.NormalCancellable || !s.WearQuota {
+		t.Errorf("parsed flags wrong: %+v", s)
+	}
+	if s.TargetLifetime != 8 || s.QuotaRatio != 0.9 {
+		t.Errorf("quota defaults wrong: %+v", s)
+	}
+}
+
+func TestWithSlowModeChangesStaticForSlowFamily(t *testing.T) {
+	s := Slow().WithSlowMode(nvm.WriteSlow15)
+	if s.StaticMode != nvm.WriteSlow15 || s.SlowMode != nvm.WriteSlow15 || s.EagerMode != nvm.WriteSlow15 {
+		t.Errorf("Slow@1.5x modes wrong: %+v", s)
+	}
+	b := BMellow().WithSlowMode(nvm.WriteSlow20)
+	if b.StaticMode != nvm.WriteNormal {
+		t.Errorf("B-Mellow static mode must stay normal, got %v", b.StaticMode)
+	}
+	if b.SlowMode != nvm.WriteSlow20 {
+		t.Errorf("B-Mellow slow mode = %v, want 2x", b.SlowMode)
+	}
+}
+
+func TestEvaluationSet(t *testing.T) {
+	set := EvaluationSet()
+	if len(set) != 9 {
+		t.Fatalf("evaluation set has %d policies, want 9", len(set))
+	}
+	want := []string{
+		"Norm", "E-Norm+NC", "Slow", "E-Slow+SC", "B-Mellow+SC",
+		"BE-Mellow+SC", "Norm+WQ", "B-Mellow+SC+WQ", "BE-Mellow+SC+WQ",
+	}
+	got := Names(set)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("evaluation set[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestYearsTicks(t *testing.T) {
+	y := Years(1)
+	secs := y.Ticks().Seconds()
+	if secs < SecondsPerYear*0.999 || secs > SecondsPerYear*1.001 {
+		t.Errorf("1 year = %v s, want %v", secs, SecondsPerYear)
+	}
+}
+
+func TestMultiLatencyGrading(t *testing.T) {
+	ml := BMellow().WithSC().WithML()
+	cases := []struct {
+		writes int
+		want   nvm.WriteMode
+	}{
+		{1, nvm.WriteSlow30},
+		{2, nvm.WriteSlow20},
+		{3, nvm.WriteSlow15},
+		{4, nvm.WriteNormal},
+		{8, nvm.WriteNormal},
+	}
+	for _, c := range cases {
+		if got := ml.DecideWrite(QueueView{WritesForBank: c.writes}).Mode; got != c.want {
+			t.Errorf("%d writes: got %v, want %v", c.writes, got, c.want)
+		}
+	}
+	// Quota still forces the full slow pulse.
+	mlq := ml.WithWQ()
+	if got := mlq.DecideWrite(QueueView{WritesForBank: 4, QuotaExceeded: true}).Mode; got != nvm.WriteSlow30 {
+		t.Errorf("quota-exceeded ML write = %v, want slow3.0x", got)
+	}
+	// Intermediate pulses are cancellable under +SC.
+	if !ml.DecideWrite(QueueView{WritesForBank: 2}).Cancellable {
+		t.Error("2.0x pulse not cancellable under +SC")
+	}
+}
+
+func TestMultiLatencyParse(t *testing.T) {
+	s, err := Parse("BE-Mellow+SC+ML")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.MultiLatency || !s.BankAware || s.Name != "BE-Mellow+SC+ML" {
+		t.Errorf("parsed: %+v", s)
+	}
+}
+
+func TestMultiLatencyIgnoredWithoutBankAware(t *testing.T) {
+	s := Norm().WithML()
+	if got := s.DecideWrite(QueueView{WritesForBank: 1}).Mode; got != nvm.WriteNormal {
+		t.Errorf("non-bank-aware ML policy changed mode: %v", got)
+	}
+}

@@ -1,0 +1,142 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// memory-system model: an integer clock in ticks and a pending-event heap
+// with deterministic FIFO tie-breaking for events scheduled at the same
+// tick.
+//
+// One tick is 0.5 ns — one cycle of the 2 GHz core in Table I. The 400 MHz
+// memory clock of Table II is exactly 5 ticks, so every timing parameter in
+// the paper is an integer number of ticks.
+package sim
+
+import "container/heap"
+
+// Tick is a point in simulated time, in units of 0.5 ns.
+type Tick uint64
+
+// Conversion constants between ticks and the units used in the paper.
+const (
+	// TicksPerNS is the number of ticks per nanosecond.
+	TicksPerNS = 2
+	// CPUCycle is the duration of one 2 GHz processor cycle.
+	CPUCycle Tick = 1
+	// MemCycle is the duration of one 400 MHz memory-bus cycle (2.5 ns).
+	MemCycle Tick = 5
+)
+
+// NS returns the tick count for a duration given in nanoseconds.
+func NS(ns uint64) Tick { return Tick(ns * TicksPerNS) }
+
+// Nanoseconds converts a tick count back to (possibly fractional) ns.
+func (t Tick) Nanoseconds() float64 { return float64(t) / TicksPerNS }
+
+// Seconds converts a tick count to seconds of simulated time.
+func (t Tick) Seconds() float64 { return float64(t) / (TicksPerNS * 1e9) }
+
+// Event is a callback scheduled to run at a specific tick. The kernel
+// passes the current time back to the callback.
+type Event func(now Tick)
+
+type pendingEvent struct {
+	at   Tick
+	seq  uint64 // insertion order; breaks ties deterministically
+	fire Event
+}
+
+type eventHeap []pendingEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(pendingEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event scheduler. The zero value is ready to use.
+// It is not safe for concurrent use; the whole simulator is single-threaded
+// and deterministic.
+type Kernel struct {
+	now    Tick
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Tick { return k.now }
+
+// Pending returns the number of scheduled events not yet fired.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Fired returns the total number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) is a programming error and panics: the kernel can never run time
+// backwards.
+func (k *Kernel) At(t Tick, fn Event) {
+	if t < k.now {
+		panic("sim: event scheduled in the past")
+	}
+	k.seq++
+	heap.Push(&k.events, pendingEvent{at: t, seq: k.seq, fire: fn})
+}
+
+// After schedules fn to run d ticks from now.
+func (k *Kernel) After(d Tick, fn Event) { k.At(k.now+d, fn) }
+
+// step fires the earliest pending event, advancing the clock to its time.
+func (k *Kernel) step() {
+	ev := heap.Pop(&k.events).(pendingEvent)
+	k.now = ev.at
+	k.fired++
+	ev.fire(k.now)
+}
+
+// AdvanceTo runs every event scheduled at or before t and then sets the
+// clock to t. Events fired may schedule further events; those are honoured
+// if they also fall at or before t.
+func (k *Kernel) AdvanceTo(t Tick) {
+	for len(k.events) > 0 && k.events[0].at <= t {
+		k.step()
+	}
+	if t > k.now {
+		k.now = t
+	}
+}
+
+// AdvanceUntil runs events in order until done() reports true or no events
+// remain. It returns true if done() was satisfied. The predicate is checked
+// before any event fires and after each one.
+func (k *Kernel) AdvanceUntil(done func() bool) bool {
+	for {
+		if done() {
+			return true
+		}
+		if len(k.events) == 0 {
+			return false
+		}
+		k.step()
+	}
+}
+
+// Drain runs all remaining events. Useful at end of simulation and in
+// tests. It returns the number of events fired.
+func (k *Kernel) Drain() uint64 {
+	start := k.fired
+	for len(k.events) > 0 {
+		k.step()
+	}
+	return k.fired - start
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitConversions(t *testing.T) {
+	if NS(150) != 300 {
+		t.Errorf("NS(150) = %d, want 300", NS(150))
+	}
+	if MemCycle != 5*CPUCycle {
+		t.Errorf("memory cycle must be 5 CPU cycles, got %d", MemCycle)
+	}
+	if got := Tick(300).Nanoseconds(); got != 150 {
+		t.Errorf("300 ticks = %v ns, want 150", got)
+	}
+	if got := NS(1e9).Seconds(); got != 1.0 {
+		t.Errorf("1e9 ns = %v s, want 1", got)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var k Kernel
+	var order []int
+	k.At(30, func(Tick) { order = append(order, 3) })
+	k.At(10, func(Tick) { order = append(order, 1) })
+	k.At(20, func(Tick) { order = append(order, 2) })
+	k.AdvanceTo(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+	if k.Now() != 100 {
+		t.Errorf("Now = %d, want 100", k.Now())
+	}
+}
+
+func TestSameTickFIFO(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func(Tick) { order = append(order, i) })
+	}
+	k.AdvanceTo(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventSchedulesEvent(t *testing.T) {
+	var k Kernel
+	hits := 0
+	var chain Event
+	chain = func(now Tick) {
+		hits++
+		if hits < 5 {
+			k.After(10, chain)
+		}
+	}
+	k.At(0, chain)
+	k.AdvanceTo(100)
+	if hits != 5 {
+		t.Errorf("chained events fired %d times, want 5", hits)
+	}
+	if k.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", k.Pending())
+	}
+}
+
+func TestAdvanceToStopsAtBoundary(t *testing.T) {
+	var k Kernel
+	fired := false
+	k.At(50, func(Tick) { fired = true })
+	k.AdvanceTo(49)
+	if fired {
+		t.Fatal("event at 50 fired during AdvanceTo(49)")
+	}
+	if k.Now() != 49 {
+		t.Errorf("Now = %d, want 49", k.Now())
+	}
+	k.AdvanceTo(50)
+	if !fired {
+		t.Fatal("event at 50 did not fire during AdvanceTo(50)")
+	}
+}
+
+func TestAdvanceUntil(t *testing.T) {
+	var k Kernel
+	count := 0
+	for i := Tick(1); i <= 10; i++ {
+		k.At(i*10, func(Tick) { count++ })
+	}
+	ok := k.AdvanceUntil(func() bool { return count >= 4 })
+	if !ok || count != 4 {
+		t.Fatalf("AdvanceUntil stopped with count=%d ok=%v, want 4 true", count, ok)
+	}
+	if k.Now() != 40 {
+		t.Errorf("Now = %d, want 40", k.Now())
+	}
+	ok = k.AdvanceUntil(func() bool { return count >= 100 })
+	if ok {
+		t.Error("AdvanceUntil reported success with unsatisfiable predicate")
+	}
+	if count != 10 {
+		t.Errorf("count = %d, want all 10 events fired", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	var k Kernel
+	k.AdvanceTo(100)
+	k.At(50, func(Tick) {})
+}
+
+func TestDrain(t *testing.T) {
+	var k Kernel
+	for i := Tick(0); i < 7; i++ {
+		k.At(i*1000, func(Tick) {})
+	}
+	if n := k.Drain(); n != 7 {
+		t.Errorf("Drain fired %d, want 7", n)
+	}
+	if k.Fired() != 7 {
+		t.Errorf("Fired = %d, want 7", k.Fired())
+	}
+}
+
+// Property: for any set of event times, events fire in nondecreasing time
+// order and the clock never runs backwards.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		var k Kernel
+		var fired []Tick
+		for _, raw := range times {
+			at := Tick(raw)
+			k.At(at, func(now Tick) { fired = append(fired, now) })
+		}
+		k.AdvanceTo(1 << 20)
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bars renders a horizontal ASCII bar chart — the closest plain-text
+// analogue of the paper's bar figures. Values are scaled to the widest
+// bar; Log selects a log10 axis (Figure 11 is log-scale in the paper).
+type Bars struct {
+	Title string
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+	// Log renders bar lengths on a log10 axis.
+	Log  bool
+	rows []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+	text  string
+}
+
+// Add appends one bar. text is the printed value (e.g. "12.87y"); pass
+// "" to print the raw value.
+func (b *Bars) Add(label string, value float64, text string) {
+	if text == "" {
+		text = F(value, 2)
+	}
+	b.rows = append(b.rows, barRow{label: label, value: value, text: text})
+}
+
+// Fprint renders the chart.
+func (b *Bars) Fprint(w io.Writer) error {
+	width := b.Width
+	if width <= 0 {
+		width = 40
+	}
+	// Establish the scale over the finite values; infinities (e.g. an
+	// unbounded lifetime) render as full-width bars.
+	maxV, minPos := 0.0, math.Inf(1)
+	for _, r := range b.rows {
+		if math.IsInf(r.value, 1) || math.IsNaN(r.value) {
+			continue
+		}
+		if r.value > maxV {
+			maxV = r.value
+		}
+		if r.value > 0 && r.value < minPos {
+			minPos = r.value
+		}
+	}
+	scale := func(v float64) int {
+		switch {
+		case math.IsNaN(v) || v <= 0:
+			return 0
+		case math.IsInf(v, 1):
+			return width
+		case maxV <= 0:
+			return 0
+		}
+		var n int
+		if b.Log {
+			lo, hi := math.Log10(minPos), math.Log10(maxV)
+			if hi <= lo {
+				return width
+			}
+			n = 1 + int(float64(width-1)*(math.Log10(v)-lo)/(hi-lo))
+		} else {
+			n = int(math.Round(float64(width) * v / maxV))
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		return n
+	}
+	labelW, textW := 0, 0
+	for _, r := range b.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+		if len(r.text) > textW {
+			textW = len(r.text)
+		}
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		fmt.Fprintf(&sb, "-- %s --\n", b.Title)
+	}
+	for _, r := range b.rows {
+		n := scale(r.value)
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&sb, "%-*s %*s |%s\n", labelW, r.label, textW, r.text,
+			strings.Repeat("#", n))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, b *Bars) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := b.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func barLen(t *testing.T, out, label string) int {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, label) {
+			return strings.Count(line, "#")
+		}
+	}
+	t.Fatalf("label %q not found in:\n%s", label, out)
+	return 0
+}
+
+func TestBarsLinearScale(t *testing.T) {
+	b := &Bars{Title: "demo", Width: 40}
+	b.Add("small", 1, "")
+	b.Add("big", 4, "")
+	out := render(t, b)
+	if !strings.Contains(out, "-- demo --") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	small, big := barLen(t, out, "small"), barLen(t, out, "big")
+	if big != 40 {
+		t.Errorf("max bar = %d, want full width 40", big)
+	}
+	if small != 10 {
+		t.Errorf("small bar = %d, want 10 (1/4 of 40)", small)
+	}
+}
+
+func TestBarsLogScale(t *testing.T) {
+	b := &Bars{Width: 30, Log: true}
+	b.Add("a", 1, "")
+	b.Add("b", 10, "")
+	b.Add("c", 100, "")
+	out := render(t, b)
+	la, lb, lc := barLen(t, out, "a"), barLen(t, out, "b"), barLen(t, out, "c")
+	if !(la < lb && lb < lc) {
+		t.Fatalf("log bars not increasing: %d %d %d", la, lb, lc)
+	}
+	// A decade step is a constant bar increment on a log axis.
+	if d1, d2 := lb-la, lc-lb; d1 != d2 && d1 != d2+1 && d1 != d2-1 {
+		t.Errorf("log axis not uniform: steps %d, %d", d1, d2)
+	}
+}
+
+func TestBarsZeroAndNegative(t *testing.T) {
+	b := &Bars{Width: 10}
+	b.Add("zero", 0, "")
+	b.Add("pos", 5, "")
+	out := render(t, b)
+	if barLen(t, out, "zero") != 0 {
+		t.Error("zero value drew a bar")
+	}
+	if barLen(t, out, "pos") != 10 {
+		t.Error("positive value did not reach full width")
+	}
+}
+
+func TestBarsCustomText(t *testing.T) {
+	b := &Bars{Width: 10}
+	b.Add("x", 2, "2.00y")
+	out := render(t, b)
+	if !strings.Contains(out, "2.00y") {
+		t.Errorf("custom text missing:\n%s", out)
+	}
+}
+
+func TestBarsInfiniteValues(t *testing.T) {
+	b := &Bars{Width: 10, Log: true}
+	b.Add("finite", 5, "")
+	b.Add("inf", math.Inf(1), "inf")
+	out := render(t, b)
+	if barLen(t, out, "inf") != 10 {
+		t.Error("infinite value must render as full-width bar")
+	}
+	if n := barLen(t, out, "finite"); n < 1 || n > 10 {
+		t.Errorf("finite bar = %d out of range", n)
+	}
+}

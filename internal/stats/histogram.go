@@ -1,0 +1,72 @@
+package stats
+
+import "math/bits"
+
+// Histogram accumulates a latency distribution in power-of-two buckets
+// (bucket i holds values in [2^i, 2^(i+1))). It answers mean and
+// quantile queries cheaply and exactly enough for reporting (quantiles
+// are bucket-resolution).
+type Histogram struct {
+	buckets [48]uint64
+	count   uint64
+	sum     uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+func bucketOf(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	b := bits.Len64(v) - 1
+	if b >= len(Histogram{}.buckets) {
+		b = len(Histogram{}.buckets) - 1
+	}
+	return b
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) at
+// bucket resolution: the top of the bucket containing it.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			return 1<<uint(i+1) - 1
+		}
+	}
+	return 1<<uint(len(h.buckets)) - 1
+}
+
+// Sub returns the distribution accumulated since base (measurement
+// windows); base must be an earlier snapshot of the same histogram.
+func (h Histogram) Sub(base Histogram) Histogram {
+	d := Histogram{count: h.count - base.count, sum: h.sum - base.sum}
+	for i := range h.buckets {
+		d.buckets[i] = h.buckets[i] - base.buckets[i]
+	}
+	return d
+}

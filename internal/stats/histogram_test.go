@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{100, 200, 300, 400} {
+		h.Add(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 250 {
+		t.Errorf("mean = %v, want 250", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramQuantileBuckets(t *testing.T) {
+	var h Histogram
+	// 90 fast samples (~64-127 ns), 10 slow (~4096-8191 ns).
+	for i := 0; i < 90; i++ {
+		h.Add(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(5000)
+	}
+	if q := h.Quantile(0.5); q < 100 || q > 127 {
+		t.Errorf("p50 = %d, want within the 64-127 bucket", q)
+	}
+	if q := h.Quantile(0.99); q < 5000 {
+		t.Errorf("p99 = %d, want in the slow bucket", q)
+	}
+}
+
+func TestHistogramSub(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	base := h
+	h.Add(1000)
+	d := h.Sub(base)
+	if d.Count() != 1 || d.Mean() != 1000 {
+		t.Errorf("window: count=%d mean=%v", d.Count(), d.Mean())
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by the bucket top of
+// the maximum sample.
+func TestQuickHistogramQuantileMonotone(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		var max uint64
+		for _, v := range vals {
+			h.Add(uint64(v))
+			if uint64(v) > max {
+				max = uint64(v)
+			}
+		}
+		prev := uint64(0)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		// The top quantile is at most the top of max's bucket.
+		return h.Quantile(1.0) <= (max+1)*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramZeroSample(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	if h.Count() != 1 || h.Quantile(1.0) == 0 {
+		// Bucket 0 covers [0,2); its top bound is 1.
+		t.Errorf("zero sample mishandled: count=%d q=%d", h.Count(), h.Quantile(1.0))
+	}
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mellow/internal/sim"
+)
+
+func TestBusyMeter(t *testing.T) {
+	var b BusyMeter
+	b.Reset(0)
+	b.AddBusy(10, 30)
+	b.AddBusy(50, 60)
+	if b.Busy() != 30 {
+		t.Errorf("busy = %d, want 30", b.Busy())
+	}
+	if got := b.Utilization(100); got != 0.30 {
+		t.Errorf("utilization = %v, want 0.30", got)
+	}
+}
+
+func TestBusyMeterClipsBeforeWindow(t *testing.T) {
+	var b BusyMeter
+	b.Reset(100)
+	b.AddBusy(50, 150) // half before window
+	if b.Busy() != 50 {
+		t.Errorf("busy = %d, want 50 (clipped)", b.Busy())
+	}
+	b.AddBusy(0, 50) // entirely before window
+	if b.Busy() != 50 {
+		t.Errorf("busy = %d after pre-window interval, want 50", b.Busy())
+	}
+	b.AddBusy(30, 20) // inverted interval is a no-op
+	if b.Busy() != 50 {
+		t.Errorf("busy = %d after inverted interval, want 50", b.Busy())
+	}
+}
+
+func TestBusyMeterReset(t *testing.T) {
+	var b BusyMeter
+	b.Reset(0)
+	b.AddBusy(0, 100)
+	b.Reset(200)
+	if b.Busy() != 0 {
+		t.Errorf("busy after reset = %d", b.Busy())
+	}
+	b.AddBusy(200, 250)
+	if got := b.Utilization(300); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+}
+
+func TestToggle(t *testing.T) {
+	var tg Toggle
+	tg.Reset(0)
+	tg.Set(true, 10)
+	tg.Set(false, 30)
+	tg.Set(true, 50)
+	// Still on at query time 70: 20 + 20 = 40 on-time.
+	if got := tg.Total(70); got != 40 {
+		t.Errorf("total = %d, want 40", got)
+	}
+	if got := tg.Fraction(80); got != 50.0/80.0 {
+		t.Errorf("fraction = %v, want 0.625", got)
+	}
+	if !tg.On() {
+		t.Error("toggle should be on")
+	}
+}
+
+func TestToggleIdempotentSet(t *testing.T) {
+	var tg Toggle
+	tg.Reset(0)
+	tg.Set(true, 10)
+	tg.Set(true, 20) // no-op
+	tg.Set(false, 30)
+	if got := tg.Total(100); got != 20 {
+		t.Errorf("total = %d, want 20", got)
+	}
+}
+
+func TestToggleResetPreservesState(t *testing.T) {
+	var tg Toggle
+	tg.Reset(0)
+	tg.Set(true, 10)
+	tg.Reset(100)
+	if !tg.On() {
+		t.Fatal("reset must preserve on state")
+	}
+	if got := tg.Total(150); got != 50 {
+		t.Errorf("total after reset = %d, want 50", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{
+		Title:  "demo",
+		Header: []string{"workload", "ipc", "years"},
+	}
+	tb.AddRow("lbm", "0.43", "1.20")
+	tb.AddRow("libquantum", "1.01", "12.00")
+	var sb strings.Builder
+	if err := tb.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "workload", "libquantum", "12.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: "ipc" column right-aligned means rows end consistently.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F = %q", F(1.23456, 2))
+	}
+	if Pct(0.0634) != "6.3%" {
+		t.Errorf("Pct = %q", Pct(0.0634))
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	got := Geomean([]float64{1, 4})
+	if math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("geomean(1,4) = %v, want 2", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("geomean of empty should be 0")
+	}
+	// Non-positive values are skipped.
+	if got := Geomean([]float64{0, 8, 2}); math.Abs(got-4.0) > 1e-12 {
+		t.Errorf("geomean(0,8,2) = %v, want 4", got)
+	}
+}
+
+func TestTickSanity(t *testing.T) {
+	// The meters work in ticks; confirm the integration assumption that
+	// one tick is 0.5 ns.
+	if sim.NS(1) != 2 {
+		t.Fatalf("tick scale changed; stats assumptions need review")
+	}
+}

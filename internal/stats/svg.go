@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// GroupedBars renders a grouped bar chart as a standalone SVG — the
+// publication-style counterpart of the paper's figures (one group per
+// workload, one bar per policy).
+type GroupedBars struct {
+	Title  string
+	YLabel string
+	// Series names one bar per group (policy names).
+	Series []string
+	// Log selects a log10 y-axis (Figure 11).
+	Log bool
+	// YMax fixes the axis top; 0 auto-scales to the data.
+	YMax   float64
+	groups []svgGroup
+}
+
+type svgGroup struct {
+	label  string
+	values []float64
+}
+
+// AddGroup appends one group (e.g. a workload) with one value per
+// series. Infinite values are clamped to the axis top.
+func (g *GroupedBars) AddGroup(label string, values ...float64) {
+	g.groups = append(g.groups, svgGroup{label: label, values: values})
+}
+
+// svgPalette is a color per series, cycled if needed.
+var svgPalette = []string{
+	"#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4",
+	"#8c613c", "#dc7ec0", "#797979", "#d5bb67", "#82c6e2",
+}
+
+// WriteTo renders the SVG document.
+func (g *GroupedBars) WriteTo(w io.Writer) (int64, error) {
+	const (
+		barW     = 14.0
+		gapInner = 2.0
+		gapGroup = 18.0
+		plotH    = 260.0
+		marginL  = 70.0
+		marginT  = 50.0
+		marginB  = 90.0
+		legendH  = 22.0
+	)
+	nSeries := len(g.Series)
+	groupW := float64(nSeries)*(barW+gapInner) + gapGroup
+	plotW := groupW * float64(len(g.groups))
+	width := marginL + plotW + 20
+	height := marginT + plotH + marginB + legendH
+
+	// Axis scale.
+	maxV, minPos := g.YMax, math.Inf(1)
+	if maxV == 0 {
+		for _, gr := range g.groups {
+			for _, v := range gr.values {
+				if !math.IsInf(v, 1) && !math.IsNaN(v) && v > maxV {
+					maxV = v
+				}
+			}
+		}
+	}
+	for _, gr := range g.groups {
+		for _, v := range gr.values {
+			if v > 0 && v < minPos {
+				minPos = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	if math.IsInf(minPos, 1) {
+		minPos = 0.1
+	}
+	yOf := func(v float64) float64 {
+		switch {
+		case math.IsNaN(v) || v <= 0:
+			return 0
+		case math.IsInf(v, 1):
+			return plotH
+		}
+		var frac float64
+		if g.Log {
+			lo, hi := math.Log10(minPos), math.Log10(maxV)
+			if hi <= lo {
+				return plotH
+			}
+			frac = (math.Log10(v) - lo) / (hi - lo)
+			if frac < 0.02 {
+				frac = 0.02 // keep tiny bars visible on a log axis
+			}
+		} else {
+			frac = v / maxV
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return plotH * frac
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&sb, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(&sb, `<text x="%.0f" y="24" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, xmlEscape(g.Title))
+	fmt.Fprintf(&sb, `<text x="16" y="%.0f" font-size="11" transform="rotate(-90 16 %.0f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, xmlEscape(g.YLabel))
+
+	// Gridlines: 4 for linear, decades for log.
+	if g.Log {
+		lo, hi := math.Floor(math.Log10(minPos)), math.Ceil(math.Log10(maxV))
+		for e := lo; e <= hi; e++ {
+			v := math.Pow(10, e)
+			y := marginT + plotH - yOf(v)
+			fmt.Fprintf(&sb, `<line x1="%.0f" y1="%.1f" x2="%.0f" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, y, marginL+plotW, y)
+			fmt.Fprintf(&sb, `<text x="%.0f" y="%.1f" font-size="10" text-anchor="end">%g</text>`+"\n", marginL-6, y+3, v)
+		}
+	} else {
+		for i := 0; i <= 4; i++ {
+			v := maxV * float64(i) / 4
+			y := marginT + plotH - yOf(v)
+			fmt.Fprintf(&sb, `<line x1="%.0f" y1="%.1f" x2="%.0f" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, y, marginL+plotW, y)
+			fmt.Fprintf(&sb, `<text x="%.0f" y="%.1f" font-size="10" text-anchor="end">%.2g</text>`+"\n", marginL-6, y+3, v)
+		}
+	}
+
+	// Bars.
+	for gi, gr := range g.groups {
+		x0 := marginL + groupW*float64(gi) + gapGroup/2
+		for si, v := range gr.values {
+			h := yOf(v)
+			x := x0 + float64(si)*(barW+gapInner)
+			y := marginT + plotH - h
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s / %s: %s</title></rect>`+"\n",
+				x, y, barW, h, svgPalette[si%len(svgPalette)],
+				xmlEscape(gr.label), xmlEscape(seriesName(g.Series, si)), tooltipValue(v))
+		}
+		// Group label, angled for space.
+		lx := x0 + (groupW-gapGroup)/2
+		ly := marginT + plotH + 14
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end" transform="rotate(-35 %.1f %.1f)">%s</text>`+"\n",
+			lx, ly, lx, ly, xmlEscape(gr.label))
+	}
+	// Baseline.
+	fmt.Fprintf(&sb, `<line x1="%.0f" y1="%.1f" x2="%.0f" y2="%.1f" stroke="#333"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+
+	// Legend.
+	lx, ly := marginL, height-14
+	for si, name := range g.Series {
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n",
+			lx, ly-9, svgPalette[si%len(svgPalette)])
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10">%s</text>`+"\n", lx+13, ly, xmlEscape(name))
+		lx += 13 + float64(len(name))*6 + 14
+	}
+	sb.WriteString("</svg>\n")
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// tooltipValue renders a bar's value for hover text, taming non-finite
+// values (an unbounded lifetime reads better as "unbounded").
+func tooltipValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "unbounded"
+	case math.IsNaN(v):
+		return "n/a"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func seriesName(series []string, i int) string {
+	if i < len(series) {
+		return series[i]
+	}
+	return fmt.Sprintf("series %d", i)
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

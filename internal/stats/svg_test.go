@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func renderSVG(t *testing.T, g *GroupedBars) string {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := g.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestSVGStructure(t *testing.T) {
+	g := &GroupedBars{Title: "IPC", YLabel: "normalized", Series: []string{"Norm", "BE"}}
+	g.AddGroup("stream", 1.0, 1.07)
+	g.AddGroup("lbm", 1.0, 0.98)
+	out := renderSVG(t, g)
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatalf("not an SVG document:\n%.120s", out)
+	}
+	// 2 groups × 2 series bars, plus one legend swatch per series.
+	if got := strings.Count(out, "<rect"); got != 2*2+2+1 { // +1 background
+		t.Errorf("rect count = %d, want 7", got)
+	}
+	for _, want := range []string{"IPC", "stream", "lbm", "Norm", "BE", "normalized"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGLogScaleDecades(t *testing.T) {
+	g := &GroupedBars{Title: "life", Series: []string{"x"}, Log: true}
+	g.AddGroup("a", 1)
+	g.AddGroup("b", 100)
+	out := renderSVG(t, g)
+	// Decade gridlines 1, 10, 100 must be labelled.
+	for _, want := range []string{">1<", ">10<", ">100<"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log axis missing label %s", want)
+		}
+	}
+}
+
+func TestSVGHandlesInfAndZero(t *testing.T) {
+	g := &GroupedBars{Title: "t", Series: []string{"x"}}
+	g.AddGroup("inf", math.Inf(1))
+	g.AddGroup("zero", 0)
+	out := renderSVG(t, g)
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Errorf("SVG leaked non-finite coordinates:\n%s", out)
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	g := &GroupedBars{Title: `a<b&"c"`, Series: []string{"s<1>"}}
+	g.AddGroup("w&x", 1)
+	out := renderSVG(t, g)
+	if strings.Contains(out, `a<b`) || strings.Contains(out, "w&x") {
+		t.Errorf("labels not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "a&lt;b&amp;") {
+		t.Error("expected escaped title")
+	}
+}

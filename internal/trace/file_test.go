@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseOps(t *testing.T) {
+	in := `# a comment
+10 4000000 R
+0 4000040 W
+
+3 8000000 R!
+`
+	ops, err := ParseOps(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("parsed %d ops, want 3", len(ops))
+	}
+	if ops[0].Gap != 10 || ops[0].Addr != 0x4000000 || ops[0].Write || ops[0].Dep {
+		t.Errorf("op0 = %+v", ops[0])
+	}
+	if !ops[1].Write || ops[1].Gap != 0 {
+		t.Errorf("op1 = %+v", ops[1])
+	}
+	if !ops[2].Dep || ops[2].Write {
+		t.Errorf("op2 = %+v", ops[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong fields": "1 2\n",
+		"bad gap":      "x 40 R\n",
+		"bad addr":     "1 zz R\n",
+		"bad kind":     "1 40 Q\n",
+		"empty":        "# nothing\n",
+		"dep write":    "1 40 W!\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseOps(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ParseOps accepted %q", name, in)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	w, _ := ByName("gups")
+	g := w.New(7)
+	var sb strings.Builder
+	if err := Record(&sb, g, 500); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseOps(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 500 {
+		t.Fatalf("round trip length %d, want 500", len(back))
+	}
+	// Compare against a fresh generator with the same seed.
+	g2 := w.New(7)
+	for i, op := range back {
+		want := g2.Next()
+		if op != want {
+			t.Fatalf("record %d: %+v != %+v", i, op, want)
+		}
+	}
+}
+
+func TestWriteOps(t *testing.T) {
+	ops := []Op{
+		{Gap: 5, Addr: 0x1000},
+		{Gap: 0, Addr: 0x1040, Write: true},
+		{Gap: 2, Addr: 0x2000, Dep: true},
+	}
+	var sb strings.Builder
+	if err := WriteOps(&sb, ops); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseOps(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ops {
+		if back[i] != ops[i] {
+			t.Errorf("op %d: %+v != %+v", i, back[i], ops[i])
+		}
+	}
+}
+
+func TestFromReaderReplaysCyclically(t *testing.T) {
+	in := "1 1000 R\n2 2000 W\n"
+	w, err := FromReader("mytrace", strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "mytrace" {
+		t.Errorf("name = %q", w.Name)
+	}
+	g := w.New(1)
+	for cycle := 0; cycle < 3; cycle++ {
+		a, b := g.Next(), g.Next()
+		if a.Addr != 0x1000 || b.Addr != 0x2000 || !b.Write {
+			t.Fatalf("cycle %d: %+v %+v", cycle, a, b)
+		}
+	}
+}
+
+func TestFromReaderRejectsEmpty(t *testing.T) {
+	if _, err := FromReader("x", strings.NewReader(""), 0); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestGoldenTraceFile(t *testing.T) {
+	f, err := os.Open("testdata/milc64.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ops, err := ParseOps(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 64 {
+		t.Fatalf("golden trace has %d ops, want 64", len(ops))
+	}
+	// The golden file was recorded from milc seed 1; regeneration must
+	// still match (trace format and generators are stable interfaces).
+	w, _ := ByName("milc")
+	g := w.New(1)
+	for i, op := range ops {
+		if want := g.Next(); op != want {
+			t.Fatalf("golden record %d drifted: %+v != %+v", i, op, want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package trace synthesises the paper's workloads. SPEC CPU2006 binaries
+// and gem5 checkpoints are proprietary/unavailable, so each of the nine
+// SPEC benchmarks plus GUPS and stream (Table IV) is replaced by a
+// parametric generator that reproduces the traits the Mellow Writes
+// mechanisms are sensitive to:
+//
+//   - LLC miss rate (calibrated to Table IV MPKI; verified by test),
+//   - the read/write mix of memory traffic,
+//   - spatial pattern (streaming, strided stencil, random, pointer
+//     chase, random-update) and therefore bank/row-buffer behaviour,
+//   - dependence (pointer chases serialise; streams overlap),
+//   - a resident hot set that exercises the LLC LRU stack profiler.
+//
+// See DESIGN.md §4 for the substitution rationale.
+package trace
+
+import (
+	"math"
+
+	"mellow/internal/rng"
+)
+
+// Op is one trace item: Gap non-memory instructions followed by one
+// memory access. The access itself counts as one instruction, so an Op
+// represents Gap+1 instructions.
+type Op struct {
+	// Gap is the number of non-memory instructions preceding the access.
+	Gap uint32
+	// Addr is the byte address accessed.
+	Addr uint64
+	// Write marks a store; loads are reads.
+	Write bool
+	// Dep marks a load whose address depends on the previous load
+	// (pointer chasing): it cannot issue until that load completes.
+	Dep bool
+}
+
+// Generator produces an infinite instruction/access stream.
+type Generator interface {
+	Next() Op
+}
+
+// gapper draws instruction gaps with a fractional mean: uniform jitter in
+// [0.5, 1.5)×mean with an accumulator so the long-run mean is exact.
+type gapper struct {
+	src  *rng.Source
+	mean float64
+	acc  float64
+}
+
+func (g *gapper) next() uint32 {
+	g.acc += g.mean * (0.5 + g.src.Float64())
+	n := math.Floor(g.acc)
+	g.acc -= n
+	return uint32(n)
+}
+
+// region is a contiguous array of memory, addressed in 8-byte elements.
+type region struct {
+	base  uint64
+	bytes uint64
+}
+
+func (r region) elemAddr(i uint64) uint64 { return r.base + (i*8)%r.bytes }
+func (r region) lineAddr(l uint64) uint64 { return r.base + (l*64)%r.bytes }
+func (r region) lines() uint64            { return r.bytes / 64 }
+
+// layout hands out non-overlapping regions within the 4 GB physical
+// space, leaving the first 64 MB unused and aligning to 1 MB.
+type layout struct{ cursor uint64 }
+
+func newLayout() *layout { return &layout{cursor: 64 << 20} }
+
+func (a *layout) alloc(bytes uint64) region {
+	const align = 1 << 20
+	bytes = (bytes + align - 1) &^ uint64(align-1)
+	r := region{base: a.cursor, bytes: bytes}
+	a.cursor += bytes
+	if a.cursor > 4<<30 {
+		panic("trace: workload layout exceeds 4 GB physical memory")
+	}
+	return r
+}
+
+// hotSet models a cache-resident (or nearly so) reuse region with a
+// Zipf-skewed line popularity, providing the LLC hit-position signal the
+// eager profiler feeds on.
+type hotSet struct {
+	src       *rng.Source
+	reg       region
+	zipf      *rng.Zipf
+	writeProb float64
+}
+
+func newHotSet(src *rng.Source, reg region, theta, writeProb float64) *hotSet {
+	return &hotSet{
+		src:       src,
+		reg:       reg,
+		zipf:      rng.NewZipf(src.Branch(0x407), reg.lines(), theta),
+		writeProb: writeProb,
+	}
+}
+
+func (h *hotSet) access() (addr uint64, write bool) {
+	l := h.zipf.Next()
+	// Spread the popular lines across the address space so they do not
+	// all collide in the same cache sets: multiply by a large odd
+	// constant modulo the line count (a bijection).
+	l = (l * 0x9E3779B1) % h.reg.lines()
+	return h.reg.lineAddr(l), h.src.Bool(h.writeProb)
+}
+
+// stream walks a set of arrays element-by-element (8-byte words),
+// emitting one access per array per element — the shape of stream/lbm/
+// milc/libquantum and, with more arrays plus a hot set, of the stencil
+// codes. writeProb applies to arrays marked maybeWrite (used by
+// libquantum's conditional updates).
+type stream struct {
+	src    *rng.Source
+	gap    gapper
+	reads  []region
+	writes []region
+	elem   uint64
+	idx    int // next position in the combined read+write sweep
+	hot    *hotSet
+	pHot   float64
+}
+
+func (s *stream) Next() Op {
+	g := s.gap.next()
+	if s.hot != nil && s.src.Bool(s.pHot) {
+		addr, w := s.hot.access()
+		return Op{Gap: g, Addr: addr, Write: w}
+	}
+	var op Op
+	if s.idx < len(s.reads) {
+		op = Op{Gap: g, Addr: s.reads[s.idx].elemAddr(s.elem)}
+	} else {
+		op = Op{Gap: g, Addr: s.writes[s.idx-len(s.reads)].elemAddr(s.elem), Write: true}
+	}
+	s.idx++
+	if s.idx == len(s.reads)+len(s.writes) {
+		s.idx = 0
+		s.elem++
+	}
+	return op
+}
+
+// random emits accesses to uniformly random lines of a region —
+// optionally dependent (pointer chase), optionally read-modify-write
+// (the write to the just-read line follows immediately), with a given
+// write probability for the follow-up or standalone store.
+type random struct {
+	src     *rng.Source
+	gap     gapper
+	reg     region
+	dep     bool
+	rmw     bool
+	wProb   float64
+	pending uint64 // pending RMW write address
+	hasPend bool
+	hot     *hotSet
+	pHot    float64
+}
+
+func (r *random) Next() Op {
+	if r.hasPend {
+		r.hasPend = false
+		return Op{Gap: 0, Addr: r.pending, Write: true}
+	}
+	g := r.gap.next()
+	if r.hot != nil && r.src.Bool(r.pHot) {
+		addr, w := r.hot.access()
+		return Op{Gap: g, Addr: addr, Write: w}
+	}
+	addr := r.reg.lineAddr(r.src.Uintn(r.reg.lines()))
+	if r.rmw && r.src.Bool(r.wProb) {
+		r.pending = addr
+		r.hasPend = true
+		return Op{Gap: g, Addr: addr, Dep: r.dep}
+	}
+	if !r.rmw && r.src.Bool(r.wProb) {
+		return Op{Gap: g, Addr: addr, Write: true}
+	}
+	return Op{Gap: g, Addr: addr, Dep: r.dep}
+}

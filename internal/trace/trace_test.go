@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"mellow/internal/cache"
+	"mellow/internal/config"
+	"mellow/internal/rng"
+)
+
+func TestAllWorkloadsListed(t *testing.T) {
+	names := Names()
+	if len(names) != 11 {
+		t.Fatalf("suite has %d workloads, want 11", len(names))
+	}
+	want := map[string]bool{
+		"leslie3d": true, "GemsFDTD": true, "libquantum": true, "stream": true,
+		"hmmer": true, "zeusmp": true, "bwaves": true, "gups": true,
+		"milc": true, "mcf": true, "lbm": true,
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected workload %q", n)
+		}
+		delete(want, n)
+	}
+	for n := range want {
+		t.Errorf("missing workload %q", n)
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("lbm")
+	if err != nil || w.Name != "lbm" {
+		t.Fatalf("ByName(lbm) = %v, %v", w.Name, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("ByName(nonesuch) should fail")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	for _, w := range All() {
+		a, b := w.New(7), w.New(7)
+		for i := 0; i < 1000; i++ {
+			oa, ob := a.Next(), b.Next()
+			if oa != ob {
+				t.Fatalf("%s: diverged at op %d: %+v vs %+v", w.Name, i, oa, ob)
+			}
+		}
+	}
+}
+
+func TestSeedsChangeStreams(t *testing.T) {
+	w, _ := ByName("gups")
+	a, b := w.New(1), w.New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next().Addr == b.Next().Addr {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("different seeds produced %d/100 identical addresses", same)
+	}
+}
+
+func TestAddressesWithinPhysicalMemory(t *testing.T) {
+	for _, w := range All() {
+		g := w.New(3)
+		for i := 0; i < 50000; i++ {
+			op := g.Next()
+			if op.Addr >= 4<<30 {
+				t.Fatalf("%s: address %#x outside 4 GB", w.Name, op.Addr)
+			}
+		}
+	}
+}
+
+func TestGapMeanAccurate(t *testing.T) {
+	g := gapper{src: rng.New(5), mean: 9.18}
+	var sum uint64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += uint64(g.next())
+	}
+	got := float64(sum) / n
+	if math.Abs(got-9.18) > 0.05 {
+		t.Errorf("gap mean = %v, want 9.18", got)
+	}
+}
+
+func TestStreamShape(t *testing.T) {
+	w, _ := ByName("stream")
+	g := w.New(1)
+	reads, writes := 0, 0
+	for i := 0; i < 3000; i++ {
+		op := g.Next()
+		if op.Write {
+			writes++
+		} else {
+			reads++
+		}
+		if op.Dep {
+			t.Fatal("stream must not have dependent loads")
+		}
+	}
+	ratio := float64(writes) / float64(reads+writes)
+	if ratio < 0.30 || ratio > 0.37 {
+		t.Errorf("stream write share = %v, want ~1/3", ratio)
+	}
+}
+
+func TestLbmWriteHeavy(t *testing.T) {
+	w, _ := ByName("lbm")
+	g := w.New(1)
+	writes := 0
+	for i := 0; i < 3000; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	if share := float64(writes) / 3000; share < 0.45 {
+		t.Errorf("lbm write share = %v, want ~1/2", share)
+	}
+}
+
+func TestMcfDependentReads(t *testing.T) {
+	w, _ := ByName("mcf")
+	g := w.New(1)
+	deps, writes := 0, 0
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Dep {
+			deps++
+		}
+		if op.Write {
+			writes++
+			if op.Gap != 0 {
+				t.Fatal("mcf RMW write must follow its read immediately")
+			}
+		}
+	}
+	if deps < 3000 {
+		t.Errorf("mcf dependent loads = %d/5000, want most", deps)
+	}
+	if writes < 500 || writes > 1500 {
+		t.Errorf("mcf writes = %d/5000, want ~20%% of ops", writes)
+	}
+}
+
+func TestGupsAlwaysRMW(t *testing.T) {
+	w, _ := ByName("gups")
+	g := w.New(1)
+	var lastRead uint64
+	sawRead := false
+	for i := 0; i < 2000; i++ {
+		op := g.Next()
+		if op.Write {
+			if !sawRead || op.Addr != lastRead {
+				t.Fatal("gups write does not match preceding read")
+			}
+			sawRead = false
+		} else {
+			lastRead = op.Addr
+			sawRead = true
+		}
+	}
+}
+
+func TestStreamSequentialLocality(t *testing.T) {
+	// Consecutive accesses to the same array must advance by 8 bytes —
+	// seven of eight consecutive touches stay within one line.
+	w, _ := ByName("libquantum")
+	g := w.New(1)
+	sameLine := 0
+	var prev [2]uint64 // per alternating array slot
+	const n = 8000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		slot := i % 2
+		if prev[slot] != 0 && op.Addr>>6 == prev[slot]>>6 {
+			sameLine++
+		}
+		prev[slot] = op.Addr
+	}
+	if frac := float64(sameLine) / n; frac < 0.8 {
+		t.Errorf("same-line fraction = %v, want ~7/8 (sequential words)", frac)
+	}
+}
+
+// TestMPKICalibration regenerates Table IV: every workload, run against
+// the paper's real cache hierarchy, must land near its published MPKI.
+func TestMPKICalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	cfg := config.Default()
+	const warm = 1_000_000
+	const measured = 3_000_000
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			h := cache.NewHierarchy(cfg.Caches, rng.New(99))
+			g := w.New(1)
+			var instr uint64
+			for instr < warm {
+				op := g.Next()
+				instr += uint64(op.Gap) + 1
+				h.Access(op.Addr, op.Write)
+			}
+			h.ResetStats()
+			instr = 0
+			for instr < measured {
+				op := g.Next()
+				instr += uint64(op.Gap) + 1
+				h.Access(op.Addr, op.Write)
+			}
+			mpki := float64(h.Snapshot().LLCMisses) / (float64(instr) / 1000)
+			lo, hi := w.TargetMPKI*0.6, w.TargetMPKI*1.5
+			if mpki < lo || mpki > hi {
+				t.Errorf("MPKI = %.2f, want %.2f (accept %.2f–%.2f)", mpki, w.TargetMPKI, lo, hi)
+			} else {
+				t.Logf("MPKI = %.2f (target %.2f)", mpki, w.TargetMPKI)
+			}
+		})
+	}
+}

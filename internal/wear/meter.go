@@ -1,0 +1,213 @@
+package wear
+
+import (
+	"math"
+
+	"mellow/internal/nvm"
+	"mellow/internal/policy"
+	"mellow/internal/sim"
+)
+
+// Meter accumulates wear for one bank. Damage is measured in
+// normal-write equivalents: a normal write adds 1.0 and an N×-slow write
+// adds N^-ExpoFactor (see nvm.Device.Damage), so Endurance_blk units of
+// damage exhaust one block.
+type Meter struct {
+	damage    float64
+	writes    [4]uint64 // completed writes, indexed by nvm.WriteMode
+	cancelled [4]uint64 // aborted write attempts, indexed by mode
+	gapWrites uint64    // Start-Gap migration writes
+}
+
+// Record accounts one completed write attempt in the given mode.
+func (m *Meter) Record(mode nvm.WriteMode, damage float64) {
+	m.damage += damage
+	m.writes[mode]++
+}
+
+// RecordCancelled accounts an aborted write attempt. The attempt still
+// wears the cell (§III: write cancellation "comes at a penalty to memory
+// lifetime due to the multiple write attempts").
+func (m *Meter) RecordCancelled(mode nvm.WriteMode, damage float64) {
+	m.damage += damage
+	m.cancelled[mode]++
+}
+
+// RecordGapMove accounts a Start-Gap migration write (always a normal
+// write in this model).
+func (m *Meter) RecordGapMove() {
+	m.damage += 1.0
+	m.gapWrites++
+}
+
+// Damage returns total accumulated damage in normal-write equivalents.
+func (m *Meter) Damage() float64 { return m.damage }
+
+// Writes returns the completed write count for a mode.
+func (m *Meter) Writes(mode nvm.WriteMode) uint64 { return m.writes[mode] }
+
+// Cancelled returns the aborted attempt count for a mode.
+func (m *Meter) Cancelled(mode nvm.WriteMode) uint64 { return m.cancelled[mode] }
+
+// GapWrites returns the number of Start-Gap migration writes.
+func (m *Meter) GapWrites() uint64 { return m.gapWrites }
+
+// TotalAttempts returns completed + cancelled + migration writes — the
+// request count a bank actually serviced (Figure 15's unit).
+func (m *Meter) TotalAttempts() uint64 {
+	var n uint64
+	for i := range m.writes {
+		n += m.writes[i] + m.cancelled[i]
+	}
+	return n + m.gapWrites
+}
+
+// TotalCompleted returns completed demand writes across modes.
+func (m *Meter) TotalCompleted() uint64 {
+	var n uint64
+	for i := range m.writes {
+		n += m.writes[i]
+	}
+	return n
+}
+
+// SlowCompleted returns completed slow writes across slow modes.
+func (m *Meter) SlowCompleted() uint64 {
+	var n uint64
+	for i := 1; i < len(m.writes); i++ {
+		n += m.writes[i]
+	}
+	return n
+}
+
+// MeterSnapshot is a copyable view of a Meter, used to diff measurement
+// windows: the Wear Quota logic needs cumulative damage from time zero,
+// while lifetime and traffic figures use the post-warmup window only.
+type MeterSnapshot struct {
+	Damage    float64
+	Writes    [4]uint64
+	Cancelled [4]uint64
+	GapWrites uint64
+}
+
+// Snapshot captures the meter's current counts.
+func (m *Meter) Snapshot() MeterSnapshot {
+	return MeterSnapshot{Damage: m.damage, Writes: m.writes, Cancelled: m.cancelled, GapWrites: m.gapWrites}
+}
+
+// Sub returns the counts accumulated since base.
+func (s MeterSnapshot) Sub(base MeterSnapshot) MeterSnapshot {
+	d := MeterSnapshot{Damage: s.Damage - base.Damage, GapWrites: s.GapWrites - base.GapWrites}
+	for i := range s.Writes {
+		d.Writes[i] = s.Writes[i] - base.Writes[i]
+		d.Cancelled[i] = s.Cancelled[i] - base.Cancelled[i]
+	}
+	return d
+}
+
+// TotalAttempts mirrors Meter.TotalAttempts for a snapshot.
+func (s MeterSnapshot) TotalAttempts() uint64 {
+	var n uint64
+	for i := range s.Writes {
+		n += s.Writes[i] + s.Cancelled[i]
+	}
+	return n + s.GapWrites
+}
+
+// TotalCompleted mirrors Meter.TotalCompleted for a snapshot.
+func (s MeterSnapshot) TotalCompleted() uint64 {
+	var n uint64
+	for i := range s.Writes {
+		n += s.Writes[i]
+	}
+	return n
+}
+
+// TotalCancelled sums aborted attempts across modes.
+func (s MeterSnapshot) TotalCancelled() uint64 {
+	var n uint64
+	for i := range s.Cancelled {
+		n += s.Cancelled[i]
+	}
+	return n
+}
+
+// SlowCompleted sums completed slow-mode writes.
+func (s MeterSnapshot) SlowCompleted() uint64 {
+	var n uint64
+	for i := 1; i < len(s.Writes); i++ {
+		n += s.Writes[i]
+	}
+	return n
+}
+
+// Quota implements the Wear Quota accounting of §IV-C for one bank.
+//
+// Execution is divided into sample periods of T_sample. A bank may incur
+// at most WearBound_bank damage per period on average; if cumulative
+// damage exceeds periods×bound, only slow writes may issue in the coming
+// period.
+type Quota struct {
+	bound   float64 // WearBound_bank per period, in damage units
+	periods uint64  // completed periods
+	exceed  bool    // decision for the current period
+}
+
+// NewQuota sizes the per-period wear bound:
+//
+//	WearBound_blk  = Endur_blk · T_sample/T_lifetime
+//	WearBound_bank = BlkNum_bank · WearBound_blk · Ratio_quota
+//
+// Damage is in normal-write equivalents, so Endur_blk contributes its
+// write count directly.
+func NewQuota(blocksPerBank int64, enduranceBlk float64, samplePeriod sim.Tick,
+	target policy.Years, ratio float64) *Quota {
+	frac := float64(samplePeriod) / float64(target.Ticks())
+	return &Quota{bound: float64(blocksPerBank) * enduranceBlk * frac * ratio}
+}
+
+// StartPeriod is called at each sample-period boundary with the bank's
+// cumulative damage; it computes ExceedQuota for the period just begun.
+func (q *Quota) StartPeriod(cumulativeDamage float64) {
+	// ExceedQuota = ΣWear_bank − WearBound_bank × Num_previous_periods.
+	q.exceed = cumulativeDamage-q.bound*float64(q.periods) > 0
+	q.periods++
+}
+
+// Exceeded reports whether only slow writes may issue this period.
+func (q *Quota) Exceeded() bool { return q.exceed }
+
+// Bound returns the per-period wear bound (for tests and reports).
+func (q *Quota) Bound() float64 { return q.bound }
+
+// Periods returns the number of periods started.
+func (q *Quota) Periods() uint64 { return q.periods }
+
+// LifetimeYears estimates memory lifetime from one bank's damage over a
+// simulated window, per §V: the workload repeats cyclically and the bank
+// fails when its most-worn block is exhausted. With Start-Gap leveling,
+// within-bank wear is a factor eff from uniform, so
+//
+//	lifetime = T_sim · Blocks · Endur_blk · eff / Damage.
+//
+// A bank with zero damage never fails (+Inf).
+func LifetimeYears(damage float64, blocks int64, enduranceBlk, eff float64, window sim.Tick) float64 {
+	if damage <= 0 {
+		return math.Inf(1)
+	}
+	capacity := float64(blocks) * enduranceBlk * eff
+	lifetimeSeconds := window.Seconds() * capacity / damage
+	return lifetimeSeconds / policy.SecondsPerYear
+}
+
+// SystemLifetimeYears returns the minimum lifetime across banks — the
+// paper's "time until one cell reaches its wear limit".
+func SystemLifetimeYears(meters []*Meter, blocksPerBank int64, enduranceBlk, eff float64, window sim.Tick) float64 {
+	min := math.Inf(1)
+	for _, m := range meters {
+		if y := LifetimeYears(m.Damage(), blocksPerBank, enduranceBlk, eff, window); y < min {
+			min = y
+		}
+	}
+	return min
+}

@@ -1,0 +1,113 @@
+package mellow
+
+import (
+	"io"
+
+	"mellow/internal/config"
+	"mellow/internal/core"
+	"mellow/internal/experiments"
+	"mellow/internal/nvm"
+	"mellow/internal/policy"
+	"mellow/internal/trace"
+)
+
+// Config is the complete system configuration (Tables I and II).
+type Config = config.Config
+
+// DefaultConfig returns the paper's baseline system: 2 GHz 8-wide core,
+// 32 KB/256 KB/2 MB caches, 16-bank ReRAM with 150 ns writes, 5·10⁶
+// endurance and a quadratic latency/endurance trade-off.
+func DefaultConfig() Config { return config.Default() }
+
+// Policy is a memory write policy (Table III): a base write speed plus
+// the Mellow Writes mechanisms and modifiers.
+type Policy = policy.Spec
+
+// ParsePolicy resolves a canonical policy name such as "Norm",
+// "B-Mellow+SC", "BE-Mellow+SC+WQ" or "Slow@1.5x+SC".
+func ParsePolicy(name string) (Policy, error) { return policy.Parse(name) }
+
+// Policies returns the paper's evaluation line-up (Figures 10–16).
+func Policies() []Policy { return policy.EvaluationSet() }
+
+// Result is the outcome of one simulation.
+type Result = core.Result
+
+// Run simulates the named workload under the policy and configuration.
+func Run(cfg Config, p Policy, workload string) (Result, error) {
+	return core.Run(cfg, p, workload)
+}
+
+// Workloads returns the 11-benchmark suite of Table IV.
+func Workloads() []string { return trace.Names() }
+
+// Workload is a benchmark: a name plus a deterministic trace generator.
+type Workload = trace.Workload
+
+// WorkloadFromReader builds a workload that cyclically replays a textual
+// trace ("<gap> <hex addr> <R|W>[!]" records; '#' comments). Use it to
+// drive the simulator with traces captured from real applications.
+func WorkloadFromReader(name string, r io.Reader) (Workload, error) {
+	return trace.FromReader(name, r, 0)
+}
+
+// RunWorkload simulates an explicit Workload (e.g. from a trace file).
+func RunWorkload(cfg Config, p Policy, w Workload) (Result, error) {
+	return core.RunWorkload(cfg, p, w)
+}
+
+// MixResult is the outcome of a multiprogrammed simulation: several
+// cores with private caches sharing one resistive memory system.
+type MixResult = core.MixResult
+
+// RunMix simulates one core per named workload against a shared memory
+// system — the multiprogrammed setting where bank interference erodes
+// the idle time Mellow Writes exploits.
+func RunMix(cfg Config, p Policy, workloads ...string) (MixResult, error) {
+	return core.RunMix(cfg, p, workloads)
+}
+
+// RecordTrace writes n records of a named workload's trace to w in the
+// textual format WorkloadFromReader accepts.
+func RecordTrace(w io.Writer, workload string, seed uint64, n int) error {
+	wl, err := trace.ByName(workload)
+	if err != nil {
+		return err
+	}
+	return trace.Record(w, wl.New(seed), n)
+}
+
+// WriteMode is a write-pulse speed (normal, 1.5×, 2×, 3×).
+type WriteMode = nvm.WriteMode
+
+// Write pulse speeds.
+const (
+	WriteNormal = nvm.WriteNormal
+	WriteSlow15 = nvm.WriteSlow15
+	WriteSlow20 = nvm.WriteSlow20
+	WriteSlow30 = nvm.WriteSlow30
+)
+
+// Device is the ReRAM latency/endurance model (Equation 2).
+type Device = nvm.Device
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment = experiments.Experiment
+
+// Experiments returns every reproducible artifact in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID finds one experiment ("fig11", "tab4", ...).
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// ExperimentOptions configure an experiment run.
+type ExperimentOptions = experiments.Options
+
+// RunExperiment executes one experiment, writing its tables to out.
+func RunExperiment(id string, cfg Config, out io.Writer, workloads ...string) error {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return err
+	}
+	return e.Run(experiments.Options{Cfg: cfg, Out: out, Workloads: workloads})
+}
