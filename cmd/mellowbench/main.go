@@ -6,10 +6,15 @@
 //	mellowbench -exp all                # everything (minutes)
 //	mellowbench -exp fig10 -quick       # scaled-down run lengths
 //	mellowbench -exp fig2 -workloads stream,lbm,gups
+//	mellowbench -exp fig11 -json        # machine-readable reports
+//	mellowbench -exp all -timeout 10m   # bound the whole run
 //	mellowbench -list
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +22,7 @@ import (
 	"time"
 
 	"mellow"
+	"mellow/internal/server"
 )
 
 func main() {
@@ -25,6 +31,8 @@ func main() {
 		quick     = flag.Bool("quick", false, "scale run lengths down ~10x for a fast look")
 		workloads = flag.String("workloads", "", "comma-separated subset of the suite")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0: no limit)")
+		jsonOut   = flag.Bool("json", false, "emit reports as JSON (mellowd's experiment encoding)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -47,6 +55,13 @@ func main() {
 		suite = strings.Split(*workloads, ",")
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var todo []mellow.Experiment
 	if *exp == "all" {
 		todo = mellow.Experiments()
@@ -59,16 +74,38 @@ func main() {
 		todo = []mellow.Experiment{e}
 	}
 
+	var reports []server.ExperimentReport
 	for i, e := range todo {
-		if i > 0 {
+		if !*jsonOut && i > 0 {
 			fmt.Println()
 		}
 		start := time.Now()
-		opts := mellow.ExperimentOptions{Cfg: cfg, Out: os.Stdout, Workloads: suite}
+		out := os.Stdout
+		var buf bytes.Buffer
+		opts := mellow.ExperimentOptions{Ctx: ctx, Cfg: cfg, Workloads: suite}
+		if *jsonOut {
+			opts.Out = &buf
+		} else {
+			opts.Out = out
+		}
 		if err := e.Run(opts); err != nil {
 			fmt.Fprintf(os.Stderr, "mellowbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *jsonOut {
+			reports = append(reports, server.ExperimentReport{
+				ID: e.ID, Title: e.Title, Output: buf.String(),
+			})
+		} else {
+			fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, "mellowbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,103 @@
+// Command mellowd serves the simulation harness over HTTP: submit jobs,
+// poll them, and fetch content-addressed results. Identical concurrent
+// submissions run once; finished work is cached; load past the queue
+// bound is shed with 429.
+//
+// Usage:
+//
+//	mellowd                              # listen on :8077
+//	mellowd -addr :9000 -workers 8 -queue 64
+//	mellowd -job-timeout 5m -quick
+//
+// API:
+//
+//	POST /v1/jobs        {"kind":"sim","workload":"stream","policy":"BE-Mellow+SC"}
+//	GET  /v1/jobs/{id}   job status (result inline when done)
+//	GET  /v1/results/{key}  deterministic result payload by content address
+//	GET  /healthz        liveness + queue depth
+//	GET  /metrics        Prometheus text exposition
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"mellow/internal/config"
+	"mellow/internal/experiments"
+	"mellow/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8077", "listen address")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+		queue      = flag.Int("queue", 0, "admission queue bound (default 4x workers)")
+		jobTimeout = flag.Duration("job-timeout", 15*time.Minute, "per-job execution cap")
+		drain      = flag.Duration("drain", 10*time.Minute, "graceful-shutdown drain budget")
+		maxResults = flag.Int("max-results", 1024, "finished jobs kept addressable")
+		simCache   = flag.Int("sim-cache", experiments.DefaultCacheCap, "memoised simulations kept (<=0 unbounded)")
+		quick      = flag.Bool("quick", false, "scale default run lengths down ~10x")
+	)
+	flag.Parse()
+
+	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	experiments.SetCacheCap(*simCache)
+
+	base := config.Default()
+	if *quick {
+		base.Run.WarmupInstructions = 1_000_000
+		base.Run.DetailedInstructions = 3_000_000
+	}
+	svc := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		MaxResults: *maxResults,
+		BaseConfig: &base,
+		Logger:     log,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Info("mellowd listening", "addr", *addr, "workers", *workers)
+
+	select {
+	case <-ctx.Done():
+		log.Info("signal received, draining", "budget", drain.String())
+	case err := <-errc:
+		log.Error("listen failed", "err", err)
+		os.Exit(1)
+	}
+
+	// Stop accepting connections first, then drain queued and in-flight
+	// jobs before exiting.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Warn("http shutdown", "err", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		log.Warn("drain incomplete, jobs cancelled", "err", err)
+		fmt.Fprintln(os.Stderr, "mellowd: drain incomplete:", err)
+		os.Exit(1)
+	}
+	log.Info("drained, bye")
+}

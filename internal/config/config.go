@@ -5,6 +5,8 @@
 package config
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math/bits"
@@ -314,4 +316,23 @@ func (c Config) MarshalJSON() ([]byte, error) {
 func (c *Config) UnmarshalJSON(b []byte) error {
 	type plain Config
 	return json.Unmarshal(b, (*plain)(c))
+}
+
+// CanonicalJSON renders the configuration in its canonical byte form:
+// the stdlib encoding with fields in declaration order and no insigni-
+// ficant whitespace. Two Configs with equal values produce identical
+// bytes, which makes the encoding safe to hash for content addressing.
+func (c Config) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(c)
+}
+
+// Hash returns the hex SHA-256 of the canonical JSON — the identity of
+// this configuration for memoisation and result caches.
+func (c Config) Hash() (string, error) {
+	b, err := c.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }

@@ -166,3 +166,47 @@ func TestWithChannels(t *testing.T) {
 		t.Error("WithChannels(0) should fail")
 	}
 }
+
+func TestCanonicalHash(t *testing.T) {
+	a, err := Default().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Default().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("equal configs hash differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Errorf("hash length = %d, want 64 hex chars", len(a))
+	}
+	c := Default()
+	c.Run.Seed = 7
+	h, err := c.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == a {
+		t.Error("changing the seed did not change the hash")
+	}
+
+	// The canonical form survives a JSON round trip: decode + re-hash
+	// yields the same identity.
+	raw, err := c.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := back.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Errorf("hash not stable across round trip: %s vs %s", h2, h)
+	}
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mellow/internal/cache"
@@ -81,19 +82,37 @@ func NewSystem(cfg config.Config, spec policy.Spec, w trace.Workload) (*System, 
 // Run warms the system up, measures the detailed window, and returns the
 // result.
 func (s *System) Run() Result {
+	r, _ := s.RunContext(context.Background())
+	return r
+}
+
+// RunContext is Run with cancellation: the simulation loop polls ctx at
+// checkpoints and aborts with ctx's error when it is cancelled or times
+// out. An uncancelled run is bit-identical to Run.
+func (s *System) RunContext(ctx context.Context) (Result, error) {
+	// context.Background and friends have a nil Done channel; skip the
+	// per-checkpoint poll entirely for them.
+	var cancelled func() bool
+	if ctx.Done() != nil {
+		cancelled = func() bool { return ctx.Err() != nil }
+	}
 	if s.Cfg.Run.WarmupInstructions > 0 {
-		s.Core.Run(s.Cfg.Run.WarmupInstructions)
+		if !s.Core.RunCancellable(s.Cfg.Run.WarmupInstructions, cancelled) {
+			return Result{}, ctx.Err()
+		}
 	}
 	s.Hier.ResetStats()
 	s.Ctl.ResetStats()
 	s.Core.BeginMeasurement()
-	s.Core.Run(s.Cfg.Run.DetailedInstructions)
+	if !s.Core.RunCancellable(s.Cfg.Run.DetailedInstructions, cancelled) {
+		return Result{}, ctx.Err()
+	}
 	// Align the memory clock with the core before snapshotting so
 	// utilization windows match the measured cycles.
 	if t := sim.Tick(s.Core.Cycles()); t > s.Ctl.Now() {
 		s.Ctl.AdvanceTo(t)
 	}
-	return s.snapshot()
+	return s.snapshot(), nil
 }
 
 func (s *System) snapshot() Result {
@@ -116,19 +135,29 @@ func (s *System) snapshot() Result {
 // Run is the one-call entry point: simulate workloadName under spec with
 // cfg and return the result.
 func Run(cfg config.Config, spec policy.Spec, workloadName string) (Result, error) {
+	return RunContext(context.Background(), cfg, spec, workloadName)
+}
+
+// RunContext is Run with cancellation.
+func RunContext(ctx context.Context, cfg config.Config, spec policy.Spec, workloadName string) (Result, error) {
 	w, err := trace.ByName(workloadName)
 	if err != nil {
 		return Result{}, err
 	}
-	return RunWorkload(cfg, spec, w)
+	return RunWorkloadContext(ctx, cfg, spec, w)
 }
 
 // RunWorkload simulates an explicit workload (e.g. one replayed from a
 // trace file) under spec with cfg.
 func RunWorkload(cfg config.Config, spec policy.Spec, w trace.Workload) (Result, error) {
+	return RunWorkloadContext(context.Background(), cfg, spec, w)
+}
+
+// RunWorkloadContext is RunWorkload with cancellation.
+func RunWorkloadContext(ctx context.Context, cfg config.Config, spec policy.Spec, w trace.Workload) (Result, error) {
 	sys, err := NewSystem(cfg, spec, w)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %w", err)
 	}
-	return sys.Run(), nil
+	return sys.RunContext(ctx)
 }

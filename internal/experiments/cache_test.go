@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mellow/internal/config"
+	"mellow/internal/policy"
+)
+
+// tinyConfig keeps hammer tests fast: a few tens of thousands of
+// instructions simulate in milliseconds.
+func tinyConfig(seed uint64) config.Config {
+	cfg := config.Default()
+	cfg.Run.WarmupInstructions = 0
+	cfg.Run.DetailedInstructions = 50_000
+	cfg.Run.Seed = seed
+	return cfg
+}
+
+// TestRunCachedConcurrent hammers the memoisation cache from many
+// goroutines (run under -race): identical keys must simulate exactly
+// once, and every caller must observe the same result.
+func TestRunCachedConcurrent(t *testing.T) {
+	ResetCache()
+	cfg := tinyConfig(99)
+	spec, err := policy.Parse("Norm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	ipcs := make([]float64, goroutines)
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := RunCached(context.Background(), cfg, spec, "stream")
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			ipcs[i] = r.IPC
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if ipcs[i] != ipcs[0] {
+			t.Errorf("goroutine %d saw IPC %v, goroutine 0 saw %v", i, ipcs[i], ipcs[0])
+		}
+	}
+	st := CacheSnapshot()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 simulation", st.Misses)
+	}
+	if st.Hits != goroutines-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, goroutines-1)
+	}
+	if st.Entries != 1 || st.InFlight != 0 {
+		t.Errorf("entries=%d inflight=%d, want 1/0", st.Entries, st.InFlight)
+	}
+}
+
+// TestRunAllConcurrent drives the harness-level entry from several
+// goroutines at once, the daemon's usage pattern.
+func TestRunAllConcurrent(t *testing.T) {
+	ResetCache()
+	o := Options{Cfg: tinyConfig(7), Parallel: 4}
+	specs := policy.EvaluationSet()[:3]
+	var jobs []job
+	for _, s := range specs {
+		jobs = append(jobs, job{cfg: o.Cfg, spec: s, workload: "gups"})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := runAll(o, jobs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(res) != len(jobs) {
+				t.Errorf("got %d results, want %d", len(res), len(jobs))
+			}
+		}()
+	}
+	wg.Wait()
+	if st := CacheSnapshot(); st.Misses != uint64(len(jobs)) {
+		t.Errorf("misses = %d, want %d distinct simulations", st.Misses, len(jobs))
+	}
+}
+
+// TestCacheEviction verifies the bound: the cache never holds more than
+// its cap and reports evictions.
+func TestCacheEviction(t *testing.T) {
+	ResetCache()
+	SetCacheCap(2)
+	defer func() { SetCacheCap(DefaultCacheCap); ResetCache() }()
+	spec, err := policy.Parse("Norm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		if _, err := RunCached(context.Background(), tinyConfig(seed), spec, "gups"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := CacheSnapshot()
+	if st.Entries > 2 {
+		t.Errorf("entries = %d, want <= cap 2", st.Entries)
+	}
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+}
+
+// TestRunCancellation checks that a cancelled context aborts a
+// simulation promptly with the context's error.
+func TestRunCancellation(t *testing.T) {
+	ResetCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec, err := policy.Parse("Norm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig(3)
+	cfg.Run.DetailedInstructions = 50_000_000 // would take seconds uncancelled
+	if _, err := RunCached(ctx, cfg, spec, "stream"); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if st := CacheSnapshot(); st.Entries != 0 {
+		t.Errorf("cancelled run cached %d entries, want 0", st.Entries)
+	}
+	ResetCache()
+}

@@ -6,7 +6,7 @@
 package experiments
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -21,6 +21,9 @@ import (
 
 // Options control an experiment run.
 type Options struct {
+	// Ctx cancels the run: simulations abort at their next checkpoint
+	// and the experiment returns ctx's error (default: Background).
+	Ctx context.Context
 	// Cfg is the base configuration; experiments override policy- or
 	// sweep-specific fields (banks, ExpoFactor) but keep run lengths.
 	Cfg config.Config
@@ -30,6 +33,13 @@ type Options struct {
 	Workloads []string
 	// Parallel bounds concurrent simulations (default: NumCPU).
 	Parallel int
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // workloads resolves the active suite.
@@ -105,24 +115,161 @@ type runKey struct {
 	workload string
 }
 
-var (
-	cacheMu  sync.Mutex
-	runCache = map[runKey]core.Result{}
-)
-
-// ResetCache drops memoised simulation results (tests).
-func ResetCache() {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	runCache = map[runKey]core.Result{}
-}
-
 func keyFor(cfg config.Config, spec policy.Spec, workload string) runKey {
-	b, err := json.Marshal(cfg)
+	b, err := cfg.CanonicalJSON()
 	if err != nil {
 		panic(fmt.Sprintf("experiments: config not serialisable: %v", err))
 	}
 	return runKey{cfg: string(b), policy: spec.Name, workload: workload}
+}
+
+// DefaultCacheCap bounds the memoisation cache so a long-lived process
+// (the mellowd daemon) does not grow without limit. At ~1 KB a result,
+// the default costs a few MB.
+const DefaultCacheCap = 4096
+
+// CacheStats reports the memoisation cache's behaviour. A "hit" counts
+// both finished-result reuse and joining a simulation already in
+// flight (singleflight); only simulations actually started count as
+// misses.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries, InFlight       int
+}
+
+// flight is one in-progress simulation that concurrent callers join.
+type flight struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+}
+
+// simCache memoises finished simulations (bounded, FIFO eviction) and
+// deduplicates concurrent identical runs.
+type simCache struct {
+	mu       sync.Mutex
+	cap      int
+	entries  map[runKey]core.Result
+	order    []runKey // insertion order, for eviction
+	inflight map[runKey]*flight
+	hits     uint64
+	misses   uint64
+	evicted  uint64
+}
+
+func newSimCache(cap int) *simCache {
+	return &simCache{
+		cap:      cap,
+		entries:  map[runKey]core.Result{},
+		inflight: map[runKey]*flight{},
+	}
+}
+
+var memo = newSimCache(DefaultCacheCap)
+
+// do returns the memoised result for key, joins an identical simulation
+// already in flight, or runs fn itself and publishes the result. A
+// caller waiting on someone else's flight aborts with ctx's error when
+// cancelled; the flight itself keeps running for the others.
+func (c *simCache) do(ctx context.Context, key runKey, fn func() (core.Result, error)) (core.Result, error) {
+	c.mu.Lock()
+	if r, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return r, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, f.err
+		case <-ctx.Done():
+			return core.Result{}, ctx.Err()
+		}
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.res, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insert(key, f.res)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, f.err
+}
+
+// insert stores a finished result, evicting oldest-first past the cap.
+// Callers hold c.mu.
+func (c *simCache) insert(key runKey, r core.Result) {
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = r
+		return
+	}
+	for c.cap > 0 && len(c.entries) >= c.cap {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, old)
+		c.evicted++
+	}
+	c.entries[key] = r
+	c.order = append(c.order, key)
+}
+
+func (c *simCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evicted,
+		Entries: len(c.entries), InFlight: len(c.inflight),
+	}
+}
+
+func (c *simCache) reset(cap int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = cap
+	c.entries = map[runKey]core.Result{}
+	c.order = nil
+	c.hits, c.misses, c.evicted = 0, 0, 0
+	// in-flight simulations publish into the fresh maps when they land.
+	c.inflight = map[runKey]*flight{}
+}
+
+// ResetCache drops memoised simulation results and counters (tests).
+func ResetCache() {
+	memo.mu.Lock()
+	cap := memo.cap
+	memo.mu.Unlock()
+	memo.reset(cap)
+}
+
+// SetCacheCap bounds the number of memoised results (<= 0: unbounded)
+// and applies on the next insertion; it does not shrink eagerly.
+func SetCacheCap(n int) {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	memo.cap = n
+}
+
+// CacheSnapshot reports hit/miss/eviction counters and current
+// occupancy of the memoisation cache.
+func CacheSnapshot() CacheStats { return memo.stats() }
+
+// RunCached is the memoised, deduplicated simulation entry point: an
+// identical (config, policy, workload) triple simulates at most once
+// concurrently and its result is reused across callers — the primitive
+// the mellowd service builds on.
+func RunCached(ctx context.Context, cfg config.Config, spec policy.Spec, workload string) (core.Result, error) {
+	return memo.do(ctx, keyFor(cfg, spec, workload), func() (core.Result, error) {
+		return core.RunContext(ctx, cfg, spec, workload)
+	})
 }
 
 // job is one simulation to perform.
@@ -135,27 +282,28 @@ type job struct {
 // runAll executes the jobs (memoised, parallel) and returns results
 // keyed by (policy, workload).
 func runAll(o Options, jobs []job) (map[[2]string]core.Result, error) {
+	ctx := o.ctx()
 	results := make(map[[2]string]core.Result, len(jobs))
 	var resMu sync.Mutex
 	sem := make(chan struct{}, o.parallel())
 	var wg sync.WaitGroup
 	var firstErr error
 	for _, j := range jobs {
-		j := j
-		key := keyFor(j.cfg, j.spec, j.workload)
-		cacheMu.Lock()
-		if r, ok := runCache[key]; ok {
-			cacheMu.Unlock()
-			results[[2]string{j.spec.Name, j.workload}] = r
-			continue
+		if err := ctx.Err(); err != nil {
+			resMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			resMu.Unlock()
+			break
 		}
-		cacheMu.Unlock()
+		j := j
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, err := core.Run(j.cfg, j.spec, j.workload)
+			r, err := RunCached(ctx, j.cfg, j.spec, j.workload)
 			resMu.Lock()
 			defer resMu.Unlock()
 			if err != nil {
@@ -164,9 +312,6 @@ func runAll(o Options, jobs []job) (map[[2]string]core.Result, error) {
 				}
 				return
 			}
-			cacheMu.Lock()
-			runCache[key] = r
-			cacheMu.Unlock()
 			results[[2]string{j.spec.Name, j.workload}] = r
 		}()
 	}
@@ -179,21 +324,7 @@ func runAll(o Options, jobs []job) (map[[2]string]core.Result, error) {
 
 // runOne executes (or reuses) a single simulation.
 func runOne(o Options, cfg config.Config, spec policy.Spec, workload string) (core.Result, error) {
-	key := keyFor(cfg, spec, workload)
-	cacheMu.Lock()
-	if r, ok := runCache[key]; ok {
-		cacheMu.Unlock()
-		return r, nil
-	}
-	cacheMu.Unlock()
-	r, err := core.Run(cfg, spec, workload)
-	if err != nil {
-		return core.Result{}, err
-	}
-	cacheMu.Lock()
-	runCache[key] = r
-	cacheMu.Unlock()
-	return r, nil
+	return RunCached(o.ctx(), cfg, spec, workload)
 }
 
 // evalSweep runs the Figure 10–16 policy line-up over the active suite.

@@ -104,9 +104,7 @@ func TestEvaluationSweepFigures(t *testing.T) {
 		}
 	}
 	// The sweep cache must have been populated: 3 workloads × 9 policies.
-	cacheMu.Lock()
-	n := len(runCache)
-	cacheMu.Unlock()
+	n := CacheSnapshot().Entries
 	if n < 27 {
 		t.Errorf("run cache holds %d results, want >= 27", n)
 	}
@@ -156,17 +154,16 @@ func TestRunCacheMemoises(t *testing.T) {
 	if err := runFig3(o); err != nil {
 		t.Fatal(err)
 	}
-	cacheMu.Lock()
-	first := len(runCache)
-	cacheMu.Unlock()
+	first := CacheSnapshot().Entries
 	if err := runFig3(o); err != nil {
 		t.Fatal(err)
 	}
-	cacheMu.Lock()
-	second := len(runCache)
-	cacheMu.Unlock()
-	if first == 0 || second != first {
-		t.Errorf("cache sizes %d -> %d; second run should reuse", first, second)
+	after := CacheSnapshot()
+	if first == 0 || after.Entries != first {
+		t.Errorf("cache sizes %d -> %d; second run should reuse", first, after.Entries)
+	}
+	if after.Hits == 0 {
+		t.Error("second run recorded no cache hits")
 	}
 }
 

@@ -1,6 +1,9 @@
 package mem
 
 import (
+	"encoding/json"
+	"math"
+
 	"mellow/internal/energy"
 	"mellow/internal/nvm"
 	"mellow/internal/policy"
@@ -41,6 +44,39 @@ type Snapshot struct {
 	LifetimeYears float64
 	// MaxBankDamage is the worst bank's damage (normal-write units).
 	MaxBankDamage float64
+}
+
+// MarshalJSON encodes the snapshot for the API. A window with no
+// completed writes projects an infinite lifetime, which JSON cannot
+// carry as a number; it is encoded as null.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type plain Snapshot
+	w := struct {
+		plain
+		LifetimeYears any `json:"LifetimeYears"`
+	}{plain: plain(s), LifetimeYears: s.LifetimeYears}
+	if math.IsInf(s.LifetimeYears, 0) || math.IsNaN(s.LifetimeYears) {
+		w.LifetimeYears = nil
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form; a null lifetime is +Inf.
+func (s *Snapshot) UnmarshalJSON(b []byte) error {
+	type plain Snapshot
+	w := struct {
+		*plain
+		LifetimeYears *float64 `json:"LifetimeYears"`
+	}{plain: (*plain)(s)}
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if w.LifetimeYears != nil {
+		s.LifetimeYears = *w.LifetimeYears
+	} else {
+		s.LifetimeYears = math.Inf(1)
+	}
+	return nil
 }
 
 // TotalWrites returns completed demand+eager writes across modes.

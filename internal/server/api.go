@@ -1,0 +1,202 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"mellow/internal/config"
+	"mellow/internal/core"
+	"mellow/internal/experiments"
+	"mellow/internal/policy"
+	"mellow/internal/trace"
+)
+
+// Job kinds.
+const (
+	// KindSim simulates one (workload, policy) pair.
+	KindSim = "sim"
+	// KindCompare sweeps one or more workloads over a policy line-up
+	// (default: the paper's Figure 10–16 evaluation set).
+	KindCompare = "compare"
+	// KindExperiment regenerates one paper artifact ("fig11", ...).
+	KindExperiment = "experiment"
+)
+
+// JobRequest is the body of POST /v1/jobs. Every field except the kind
+// discriminator and its operands is optional; unset run parameters take
+// the server's base configuration.
+type JobRequest struct {
+	// Kind selects the work: "sim" (default), "compare", "experiment".
+	Kind string `json:"kind,omitempty"`
+	// Workload names one benchmark (sim); Workloads a set (compare and
+	// experiment; default: the full 11-benchmark suite).
+	Workload  string   `json:"workload,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	// Policy names one write policy (sim); Policies a line-up (compare;
+	// default: the paper's evaluation set).
+	Policy   string   `json:"policy,omitempty"`
+	Policies []string `json:"policies,omitempty"`
+	// Experiment is the artifact id for kind "experiment".
+	Experiment string `json:"experiment,omitempty"`
+	// Config replaces the server's base configuration wholesale.
+	Config *config.Config `json:"config,omitempty"`
+	// Seed, Warmup and Detailed override individual run parameters of
+	// the effective configuration.
+	Seed     *uint64 `json:"seed,omitempty"`
+	Warmup   *uint64 `json:"warmup,omitempty"`
+	Detailed *uint64 `json:"detailed,omitempty"`
+	// TimeoutSeconds caps this job's execution (bounded by the server's
+	// per-job timeout). It does not enter the job's cache key.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// canonicalJob is the fully resolved, defaults-applied form of a
+// request. Its canonical JSON is hashed into the content address, so
+// two requests that mean the same work share one key.
+type canonicalJob struct {
+	Kind       string        `json:"kind"`
+	Config     config.Config `json:"config"`
+	Workloads  []string      `json:"workloads"`
+	Policies   []string      `json:"policies,omitempty"`
+	Experiment string        `json:"experiment,omitempty"`
+}
+
+// normalize resolves a request against the base configuration,
+// validates every name it references, and returns the canonical job
+// plus its content address.
+func normalize(req JobRequest, base config.Config) (canonicalJob, string, error) {
+	c := canonicalJob{Kind: req.Kind, Config: base}
+	if c.Kind == "" {
+		c.Kind = KindSim
+	}
+	if req.Config != nil {
+		c.Config = *req.Config
+	}
+	if req.Seed != nil {
+		c.Config.Run.Seed = *req.Seed
+	}
+	if req.Warmup != nil {
+		c.Config.Run.WarmupInstructions = *req.Warmup
+	}
+	if req.Detailed != nil {
+		c.Config.Run.DetailedInstructions = *req.Detailed
+	}
+	if err := c.Config.Validate(); err != nil {
+		return c, "", err
+	}
+
+	switch c.Kind {
+	case KindSim:
+		if req.Workload == "" {
+			return c, "", fmt.Errorf("sim job needs a workload")
+		}
+		if req.Policy == "" {
+			return c, "", fmt.Errorf("sim job needs a policy")
+		}
+		c.Workloads = []string{req.Workload}
+		c.Policies = []string{req.Policy}
+	case KindCompare:
+		c.Workloads = req.Workloads
+		if req.Workload != "" {
+			c.Workloads = append([]string{req.Workload}, c.Workloads...)
+		}
+		if len(c.Workloads) == 0 {
+			return c, "", fmt.Errorf("compare job needs at least one workload")
+		}
+		c.Policies = req.Policies
+		if req.Policy != "" {
+			c.Policies = append([]string{req.Policy}, c.Policies...)
+		}
+		if len(c.Policies) == 0 {
+			c.Policies = policy.Names(policy.EvaluationSet())
+		}
+	case KindExperiment:
+		if req.Experiment == "" {
+			return c, "", fmt.Errorf("experiment job needs an experiment id")
+		}
+		if _, err := experiments.ByID(req.Experiment); err != nil {
+			return c, "", err
+		}
+		c.Experiment = req.Experiment
+		c.Workloads = req.Workloads
+		if len(c.Workloads) == 0 {
+			c.Workloads = trace.Names()
+		}
+	default:
+		return c, "", fmt.Errorf("unknown job kind %q (want sim, compare or experiment)", c.Kind)
+	}
+
+	for _, w := range c.Workloads {
+		if _, err := trace.ByName(w); err != nil {
+			return c, "", err
+		}
+	}
+	for _, p := range c.Policies {
+		if _, err := policy.Parse(p); err != nil {
+			return c, "", err
+		}
+	}
+	sort.Strings(c.Workloads)
+
+	b, err := json.Marshal(c)
+	if err != nil {
+		return c, "", fmt.Errorf("server: job not serialisable: %v", err)
+	}
+	sum := sha256.Sum256(b)
+	return c, hex.EncodeToString(sum[:]), nil
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobStatus is the body of POST /v1/jobs and GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State string `json:"state"`
+	// Deduped marks a submission that joined an existing identical job
+	// instead of enqueueing a new simulation.
+	Deduped bool   `json:"deduped,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// Timing is reported on the status, never inside the result, so
+	// result bytes stay bit-identical across re-runs of the same key.
+	QueuedAt   time.Time  `json:"queued_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	ElapsedMS  int64      `json:"elapsed_ms,omitempty"`
+	Result     *JobResult `json:"result,omitempty"`
+}
+
+// JobResult is the deterministic payload of a finished job, served both
+// inline on the status and content-addressed at GET /v1/results/{key}.
+// It carries no timestamps or durations: equal keys yield equal bytes.
+type JobResult struct {
+	Key  string `json:"key"`
+	Kind string `json:"kind"`
+	// Results holds sim/compare outcomes in (workload, policy) order.
+	Results []core.Result `json:"results,omitempty"`
+	// Report holds an experiment job's rendered artifact.
+	Report *ExperimentReport `json:"report,omitempty"`
+}
+
+// ExperimentReport is the machine-readable rendering of one paper
+// artifact — shared by mellowd experiment jobs and `mellowbench -json`.
+type ExperimentReport struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Output string `json:"output"`
+}
+
+// APIError is the body of every non-2xx response.
+type APIError struct {
+	Error string `json:"error"`
+}

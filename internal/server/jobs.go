@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"time"
+
+	"mellow/internal/experiments"
+	"mellow/internal/policy"
+)
+
+// jobState is one submitted job's lifecycle record. Mutable fields are
+// guarded by the owning Server's mutex; done closes on completion.
+type jobState struct {
+	id    string
+	key   string
+	canon canonicalJob
+	// timeout caps execution; zero means the server default.
+	timeout time.Duration
+
+	state      string
+	err        string
+	result     *JobResult
+	queuedAt   time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	done       chan struct{}
+}
+
+// status renders the job for the API. Callers hold the server mutex.
+func (j *jobState) status(deduped bool) JobStatus {
+	st := JobStatus{
+		ID:       j.id,
+		Key:      j.key,
+		State:    j.state,
+		Deduped:  deduped,
+		Error:    j.err,
+		QueuedAt: j.queuedAt,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		st.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		st.FinishedAt = &t
+		st.ElapsedMS = j.finishedAt.Sub(j.startedAt).Milliseconds()
+	}
+	if j.state == StateDone {
+		st.Result = j.result
+	}
+	return st
+}
+
+// runJob executes one job's simulations through the memoised harness,
+// so identical sub-simulations across different jobs run once.
+func runJob(ctx context.Context, canon canonicalJob, key string) (*JobResult, error) {
+	out := &JobResult{Key: key, Kind: canon.Kind}
+	switch canon.Kind {
+	case KindSim, KindCompare:
+		for _, w := range canon.Workloads {
+			for _, p := range canon.Policies {
+				spec, err := policy.Parse(p)
+				if err != nil {
+					return nil, err
+				}
+				r, err := experiments.RunCached(ctx, canon.Config, spec, w)
+				if err != nil {
+					return nil, err
+				}
+				out.Results = append(out.Results, r)
+			}
+		}
+	case KindExperiment:
+		e, err := experiments.ByID(canon.Experiment)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = e.Run(experiments.Options{
+			Ctx:       ctx,
+			Cfg:       canon.Config,
+			Out:       &buf,
+			Workloads: canon.Workloads,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Report = &ExperimentReport{ID: e.ID, Title: e.Title, Output: buf.String()}
+	}
+	return out, nil
+}

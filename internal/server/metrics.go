@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mellow/internal/experiments"
+	"mellow/internal/stats"
+)
+
+// metrics aggregates service counters and per-kind latency
+// distributions, rendered in Prometheus text exposition format.
+type metrics struct {
+	accepted  atomic.Uint64 // jobs admitted to the queue
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	shed      atomic.Uint64 // rejected with 429: queue full
+	deduped   atomic.Uint64 // submissions joined to an existing job
+	resultHit atomic.Uint64 // submissions answered from the result cache
+
+	mu      sync.Mutex
+	latency map[string]*stats.Histogram // by job kind, in microseconds
+}
+
+func newMetrics() *metrics {
+	return &metrics{latency: map[string]*stats.Histogram{}}
+}
+
+// observe records one finished job's wall time.
+func (m *metrics) observe(kind string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.latency[kind]
+	if h == nil {
+		h = &stats.Histogram{}
+		m.latency[kind] = h
+	}
+	h.Add(uint64(d.Microseconds()))
+}
+
+func counter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func gauge(w io.Writer, name, help string, v int) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// write renders the full exposition: service counters, queue and cache
+// gauges, the simulation memo-cache counters, and per-kind latency
+// histograms (power-of-two buckets from internal/stats, cumulated into
+// Prometheus "le" bounds in seconds).
+func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers, resultEntries int) {
+	counter(w, "mellowd_jobs_accepted_total", "Jobs admitted to the work queue.", m.accepted.Load())
+	counter(w, "mellowd_jobs_completed_total", "Jobs finished successfully.", m.completed.Load())
+	counter(w, "mellowd_jobs_failed_total", "Jobs finished with an error.", m.failed.Load())
+	counter(w, "mellowd_jobs_shed_total", "Submissions rejected with 429: queue full.", m.shed.Load())
+	counter(w, "mellowd_jobs_deduped_total", "Submissions joined to an identical active job.", m.deduped.Load())
+	counter(w, "mellowd_result_cache_hits_total", "Submissions answered from the content-addressed result cache.", m.resultHit.Load())
+	gauge(w, "mellowd_queue_depth", "Jobs waiting in the admission queue.", queueDepth)
+	gauge(w, "mellowd_queue_capacity", "Admission queue bound.", queueCap)
+	gauge(w, "mellowd_workers", "Worker pool size.", workers)
+	gauge(w, "mellowd_result_cache_entries", "Finished jobs held by the result cache.", resultEntries)
+
+	cs := experiments.CacheSnapshot()
+	counter(w, "mellowd_simcache_hits_total", "Simulation memo-cache hits (incl. singleflight joins).", cs.Hits)
+	counter(w, "mellowd_simcache_misses_total", "Simulations actually executed.", cs.Misses)
+	counter(w, "mellowd_simcache_evictions_total", "Memoised simulations evicted by the cap.", cs.Evictions)
+	gauge(w, "mellowd_simcache_entries", "Memoised simulation results held.", cs.Entries)
+	gauge(w, "mellowd_simcache_inflight", "Simulations currently running (deduplicated).", cs.InFlight)
+
+	m.mu.Lock()
+	kinds := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	const name = "mellowd_job_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Wall time of finished jobs by kind.\n# TYPE %s histogram\n", name, name)
+	for _, k := range kinds {
+		h := m.latency[k]
+		var cum uint64
+		for _, b := range h.Buckets() {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{kind=%q,le=%q} %d\n", name, k, fmt.Sprintf("%g", float64(b.Upper)/1e6), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{kind=%q,le=\"+Inf\"} %d\n", name, k, h.Count())
+		fmt.Fprintf(w, "%s_sum{kind=%q} %g\n", name, k, float64(h.Sum())/1e6)
+		fmt.Fprintf(w, "%s_count{kind=%q} %d\n", name, k, h.Count())
+	}
+	m.mu.Unlock()
+}

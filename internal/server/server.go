@@ -1,0 +1,392 @@
+// Package server is the mellowd simulation service: a JSON API that
+// turns the deterministic, memoised simulation harness into a shared,
+// long-lived daemon. Jobs are admitted into a bounded queue (load past
+// the bound is shed with 429), executed by a fixed worker pool, and
+// deduplicated two ways — identical in-flight submissions join one job
+// (singleflight), and finished work is served from a content-addressed
+// result cache keyed on the canonical hash of (config, workload,
+// policy, seed, run lengths).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mellow/internal/config"
+)
+
+// Config sets the service's capacity knobs; zero values take defaults.
+type Config struct {
+	// Workers sizes the simulation pool (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond it are
+	// shed with 429 + Retry-After (default: 4 × workers).
+	QueueDepth int
+	// JobTimeout caps each job's execution (default: 15 minutes).
+	JobTimeout time.Duration
+	// MaxResults bounds the finished-job/result cache (default: 1024).
+	MaxResults int
+	// BaseConfig seeds every job's configuration before per-request
+	// overrides (default: the paper's baseline).
+	BaseConfig *config.Config
+	// Logger receives structured request and job logs (default: slog's
+	// default logger).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 15 * time.Minute
+	}
+	if c.MaxResults <= 0 {
+		c.MaxResults = 1024
+	}
+	if c.BaseConfig == nil {
+		d := config.Default()
+		c.BaseConfig = &d
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is one mellowd instance: worker pool, queue, and caches.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	met *metrics
+
+	// runCtx is cancelled only on hard stop (drain deadline exceeded);
+	// a graceful drain lets in-flight simulations finish under it.
+	runCtx  context.Context
+	hardTop context.CancelFunc
+
+	queue chan *jobState
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*jobState // by id, bounded via finished
+	byKey    map[string]*jobState // latest job per content address
+	finished []string             // finished job ids, eviction order
+	nextID   atomic.Uint64
+
+	// exec runs one job; tests replace it to control timing.
+	exec func(ctx context.Context, canon canonicalJob, key string) (*JobResult, error)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		met:     newMetrics(),
+		runCtx:  ctx,
+		hardTop: cancel,
+		queue:   make(chan *jobState, cfg.QueueDepth),
+		jobs:    map[string]*jobState{},
+		byKey:   map[string]*jobState{},
+		exec:    runJob,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for js := range s.queue {
+		s.execute(js)
+	}
+}
+
+func (s *Server) execute(js *jobState) {
+	s.mu.Lock()
+	js.state = StateRunning
+	js.startedAt = time.Now()
+	timeout := js.timeout
+	s.mu.Unlock()
+
+	if timeout <= 0 || timeout > s.cfg.JobTimeout {
+		timeout = s.cfg.JobTimeout
+	}
+	ctx, cancel := context.WithTimeout(s.runCtx, timeout)
+	res, err := s.exec(ctx, js.canon, js.key)
+	cancel()
+
+	s.mu.Lock()
+	js.finishedAt = time.Now()
+	if err != nil {
+		js.state = StateFailed
+		js.err = err.Error()
+		s.met.failed.Add(1)
+	} else {
+		js.state = StateDone
+		js.result = res
+		s.met.completed.Add(1)
+	}
+	s.finished = append(s.finished, js.id)
+	s.evictLocked()
+	elapsed := js.finishedAt.Sub(js.startedAt)
+	s.mu.Unlock()
+	close(js.done)
+
+	s.met.observe(js.canon.Kind, elapsed)
+	s.log.Info("job finished",
+		"id", js.id, "kind", js.canon.Kind, "state", js.state,
+		"elapsed_ms", elapsed.Milliseconds(), "err", js.err)
+}
+
+// evictLocked bounds the finished-job cache FIFO. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	for len(s.finished) > s.cfg.MaxResults {
+		id := s.finished[0]
+		s.finished = s.finished[1:]
+		js := s.jobs[id]
+		delete(s.jobs, id)
+		if js != nil && s.byKey[js.key] == js {
+			delete(s.byKey, js.key)
+		}
+	}
+}
+
+// Submit admits one request: returns the job's status plus the HTTP
+// code the API reports (202 accepted, 200 deduped/cached, 429 shed,
+// 503 draining, 400 invalid).
+func (s *Server) Submit(req JobRequest) (JobStatus, int, error) {
+	canon, key, err := normalize(req, *s.cfg.BaseConfig)
+	if err != nil {
+		return JobStatus{}, http.StatusBadRequest, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Content-addressed reuse: an identical job that is finished (hit),
+	// queued or running (singleflight join) answers this submission.
+	// A failed job does not poison its key — fall through and retry.
+	if prev, ok := s.byKey[key]; ok && prev.state != StateFailed {
+		if prev.state == StateDone {
+			s.met.resultHit.Add(1)
+		} else {
+			s.met.deduped.Add(1)
+		}
+		return prev.status(true), http.StatusOK, nil
+	}
+
+	if s.draining {
+		return JobStatus{}, http.StatusServiceUnavailable, fmt.Errorf("server is draining")
+	}
+
+	js := &jobState{
+		id:       fmt.Sprintf("job-%06d", s.nextID.Add(1)),
+		key:      key,
+		canon:    canon,
+		state:    StateQueued,
+		queuedAt: time.Now(),
+		done:     make(chan struct{}),
+	}
+	if req.TimeoutSeconds > 0 {
+		js.timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
+	}
+
+	select {
+	case s.queue <- js:
+	default:
+		s.met.shed.Add(1)
+		return JobStatus{}, http.StatusTooManyRequests,
+			fmt.Errorf("queue full (%d jobs waiting)", s.cfg.QueueDepth)
+	}
+	s.jobs[js.id] = js
+	s.byKey[key] = js
+	s.met.accepted.Add(1)
+	return js.status(false), http.StatusAccepted, nil
+}
+
+// Job returns one job's status by id.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return js.status(false), true
+}
+
+// Result returns the content-addressed result for key, if finished.
+func (s *Server) Result(key string) (*JobResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.byKey[key]
+	if !ok || js.state != StateDone {
+		return nil, false
+	}
+	return js.result, true
+}
+
+// Shutdown drains gracefully: stop admitting, let workers finish every
+// queued and in-flight job, and return. If ctx expires first, in-flight
+// simulations are cancelled at their next checkpoint and ctx's error is
+// returned once the pool exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.hardTop()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Handler returns the service's HTTP API with request logging.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.logRequests(mux)
+}
+
+// maxBodyBytes bounds request bodies; a full Config is ~2 KB.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, APIError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	st, code, err := s.Submit(req)
+	if err != nil {
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, code, APIError{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.Result(r.PathValue("key"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "no finished result for key"})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := struct {
+		Status  string `json:"status"`
+		Jobs    int    `json:"jobs"`
+		Queue   int    `json:"queue_depth"`
+		Workers int    `json:"workers"`
+	}{"ok", len(s.jobs), len(s.queue), s.cfg.Workers}
+	if s.draining {
+		st.Status = "draining"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	depth := len(s.queue)
+	results := len(s.finished)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, depth, s.cfg.QueueDepth, s.cfg.Workers, results)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before touching the response so an encoding failure can
+	// still become a 500 instead of a truncated 2xx.
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"response not serialisable"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.log.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", rec.code, "bytes", rec.bytes,
+			"dur_ms", strconv.FormatFloat(float64(time.Since(start).Microseconds())/1000, 'f', 3, 64))
+	})
+}

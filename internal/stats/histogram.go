@@ -1,6 +1,9 @@
 package stats
 
-import "math/bits"
+import (
+	"encoding/json"
+	"math/bits"
+)
 
 // Histogram accumulates a latency distribution in power-of-two buckets
 // (bucket i holds values in [2^i, 2^(i+1))). It answers mean and
@@ -59,6 +62,56 @@ func (h *Histogram) Quantile(q float64) uint64 {
 		}
 	}
 	return 1<<uint(len(h.buckets)) - 1
+}
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Bucket is one power-of-two bucket of a Histogram: Count samples with
+// values <= Upper (and above the previous bucket's Upper).
+type Bucket struct {
+	Upper uint64
+	Count uint64
+}
+
+// Buckets returns the occupied buckets in ascending order — the export
+// surface for external encodings (e.g. Prometheus exposition, where
+// each bucket becomes an "le" bound after cumulation).
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		out = append(out, Bucket{Upper: 1<<uint(i+1) - 1, Count: c})
+	}
+	return out
+}
+
+// histogramJSON is the wire form: occupied buckets plus totals.
+type histogramJSON struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// MarshalJSON encodes the distribution as its occupied buckets with
+// totals, so results carrying histograms are machine-readable.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Count: h.count, Sum: h.sum, Buckets: h.Buckets()})
+}
+
+// UnmarshalJSON rebuilds the distribution from its wire form.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*h = Histogram{count: w.Count, sum: w.Sum}
+	for _, bk := range w.Buckets {
+		h.buckets[bucketOf(bk.Upper)] += bk.Count
+	}
+	return nil
 }
 
 // Sub returns the distribution accumulated since base (measurement

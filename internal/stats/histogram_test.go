@@ -92,3 +92,33 @@ func TestHistogramZeroSample(t *testing.T) {
 		t.Errorf("zero sample mishandled: count=%d q=%d", h.Count(), h.Quantile(1.0))
 	}
 }
+
+func TestHistogramBucketsExport(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 1, 3, 100} {
+		h.Add(v)
+	}
+	if h.Sum() != 105 {
+		t.Errorf("sum = %d, want 105", h.Sum())
+	}
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("buckets = %v, want 3 occupied", bs)
+	}
+	var total uint64
+	prev := uint64(0)
+	for _, b := range bs {
+		if b.Upper <= prev {
+			t.Errorf("bucket bounds not ascending: %v", bs)
+		}
+		prev = b.Upper
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Errorf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+	// 1,1 land in [1,2); 3 in [2,4); 100 in [64,128).
+	if bs[0].Count != 2 || bs[0].Upper != 1 {
+		t.Errorf("first bucket = %+v, want {1 2}", bs[0])
+	}
+}

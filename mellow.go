@@ -1,6 +1,7 @@
 package mellow
 
 import (
+	"context"
 	"io"
 
 	"mellow/internal/config"
@@ -36,6 +37,12 @@ type Result = core.Result
 // Run simulates the named workload under the policy and configuration.
 func Run(cfg Config, p Policy, workload string) (Result, error) {
 	return core.Run(cfg, p, workload)
+}
+
+// RunContext is Run with cancellation: the simulation aborts at its
+// next checkpoint once ctx is cancelled or times out.
+func RunContext(ctx context.Context, cfg Config, p Policy, workload string) (Result, error) {
+	return core.RunContext(ctx, cfg, p, workload)
 }
 
 // Workloads returns the 11-benchmark suite of Table IV.
@@ -105,9 +112,15 @@ type ExperimentOptions = experiments.Options
 
 // RunExperiment executes one experiment, writing its tables to out.
 func RunExperiment(id string, cfg Config, out io.Writer, workloads ...string) error {
+	return RunExperimentContext(context.Background(), id, cfg, out, workloads...)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: long sweeps
+// abort at the next simulation checkpoint when ctx ends.
+func RunExperimentContext(ctx context.Context, id string, cfg Config, out io.Writer, workloads ...string) error {
 	e, err := experiments.ByID(id)
 	if err != nil {
 		return err
 	}
-	return e.Run(experiments.Options{Cfg: cfg, Out: out, Workloads: workloads})
+	return e.Run(experiments.Options{Ctx: ctx, Cfg: cfg, Out: out, Workloads: workloads})
 }
