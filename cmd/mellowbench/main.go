@@ -8,7 +8,15 @@
 //	mellowbench -exp fig2 -workloads stream,lbm,gups
 //	mellowbench -exp fig11 -json        # machine-readable reports
 //	mellowbench -exp all -timeout 10m   # bound the whole run
+//	mellowbench -exp fig11 -progress    # live sweep status on stderr
+//	mellowbench -exp fig11 -interval 500us   # per-epoch time series as JSON
 //	mellowbench -list
+//
+// -interval samples every simulation at the given period of simulated
+// time (the paper's T_sample is 500us) and dumps one JSON series record
+// per (workload, policy) after the tables — or embeds them in the
+// reports with -json. -progress writes "done/total simulations" status
+// lines to stderr as the sweep advances.
 package main
 
 import (
@@ -33,6 +41,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0: no limit)")
 		jsonOut   = flag.Bool("json", false, "emit reports as JSON (mellowd's experiment encoding)")
+		interval  = flag.Duration("interval", 0, "sample an epoch series at this period of simulated time (e.g. 500us; 0: off)")
+		progress  = flag.Bool("progress", false, "report sweep progress on stderr")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -88,15 +98,35 @@ func main() {
 		} else {
 			opts.Out = out
 		}
+		var series []mellow.SeriesRecord
+		if *interval > 0 {
+			opts.Epoch = mellow.NS(uint64(interval.Nanoseconds()))
+			opts.OnSeries = func(rec mellow.SeriesRecord) { series = append(series, rec) }
+		}
+		if *progress {
+			id := e.ID
+			opts.OnProgress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "mellowbench: %s: %d/%d simulations\n", id, done, total)
+			}
+		}
 		if err := e.Run(opts); err != nil {
 			fmt.Fprintf(os.Stderr, "mellowbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		if *jsonOut {
 			reports = append(reports, server.ExperimentReport{
-				ID: e.ID, Title: e.Title, Output: buf.String(),
+				ID: e.ID, Title: e.Title, Output: buf.String(), Series: series,
 			})
 		} else {
+			if len(series) > 0 {
+				enc := json.NewEncoder(out)
+				for _, rec := range series {
+					if err := enc.Encode(rec); err != nil {
+						fmt.Fprintln(os.Stderr, "mellowbench:", err)
+						os.Exit(1)
+					}
+				}
+			}
 			fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}

@@ -12,7 +12,9 @@
 // API:
 //
 //	POST /v1/jobs        {"kind":"sim","workload":"stream","policy":"BE-Mellow+SC"}
-//	GET  /v1/jobs/{id}   job status (result inline when done)
+//	POST /v1/jobs        {"kind":"compare","workload":"gups","interval_ns":500000}
+//	GET  /v1/jobs/{id}   job status: live "progress" fraction, current
+//	                     "epoch" sample, result inline when done
 //	GET  /v1/results/{key}  deterministic result payload by content address
 //	GET  /healthz        liveness + queue depth
 //	GET  /metrics        Prometheus text exposition

@@ -1,0 +1,55 @@
+package cache
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestStatsJSONRoundTrip checks the Stats counters survive the JSON
+// encoding the mellowd API serves them through.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	want := Stats{
+		DemandReads: 1000, DemandWrites: 400, LLCMisses: 90,
+		MemFetches: 90, MemWritebacks: 35, EagerIssued: 12, WastedEager: 2,
+		L1Hits: 900, L1Misses: 500,
+		L2Hits: 300, L2Misses: 200,
+		L3Hits: 110, L3Misses: 90,
+	}
+	b, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Stats
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip changed the stats:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestStatsJSONFieldNames pins the wire names the API contract exposes:
+// every counter appears under its Go field name.
+func TestStatsJSONFieldNames(t *testing.T) {
+	b, err := json.Marshal(Stats{LLCMisses: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"DemandReads", "DemandWrites", "LLCMisses", "MemFetches",
+		"MemWritebacks", "EagerIssued", "WastedEager",
+		"L1Hits", "L1Misses", "L2Hits", "L2Misses", "L3Hits", "L3Misses",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("encoded stats missing %q: %s", name, b)
+		}
+	}
+	if v, ok := m["LLCMisses"].(float64); !ok || v != 7 {
+		t.Errorf("LLCMisses = %v, want 7", m["LLCMisses"])
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"mellow/internal/cache"
 	"mellow/internal/config"
 	"mellow/internal/cpu"
+	"mellow/internal/engine"
 	"mellow/internal/mem"
 	"mellow/internal/policy"
 	"mellow/internal/rng"
@@ -79,6 +80,12 @@ func NewSystem(cfg config.Config, spec policy.Spec, w trace.Workload) (*System, 
 	}, nil
 }
 
+// Engine builds the phase-aware run engine for this system with the
+// given observation options. The engine is single-use.
+func (s *System) Engine(opts engine.Options) *engine.Engine {
+	return engine.New(s.Kernel, s.Hier, s.Ctl, s.Core, s.Cfg.Run, opts)
+}
+
 // Run warms the system up, measures the detailed window, and returns the
 // result.
 func (s *System) Run() Result {
@@ -88,46 +95,39 @@ func (s *System) Run() Result {
 
 // RunContext is Run with cancellation: the simulation loop polls ctx at
 // checkpoints and aborts with ctx's error when it is cancelled or times
-// out. An uncancelled run is bit-identical to Run.
+// out. An uncancelled run is bit-identical to Run. It is a thin wrapper
+// over the engine with no observers attached.
 func (s *System) RunContext(ctx context.Context) (Result, error) {
-	// context.Background and friends have a nil Done channel; skip the
-	// per-checkpoint poll entirely for them.
-	var cancelled func() bool
-	if ctx.Done() != nil {
-		cancelled = func() bool { return ctx.Err() != nil }
-	}
-	if s.Cfg.Run.WarmupInstructions > 0 {
-		if !s.Core.RunCancellable(s.Cfg.Run.WarmupInstructions, cancelled) {
-			return Result{}, ctx.Err()
-		}
-	}
-	s.Hier.ResetStats()
-	s.Ctl.ResetStats()
-	s.Core.BeginMeasurement()
-	if !s.Core.RunCancellable(s.Cfg.Run.DetailedInstructions, cancelled) {
-		return Result{}, ctx.Err()
-	}
-	// Align the memory clock with the core before snapshotting so
-	// utilization windows match the measured cycles.
-	if t := sim.Tick(s.Core.Cycles()); t > s.Ctl.Now() {
-		s.Ctl.AdvanceTo(t)
-	}
-	return s.snapshot(), nil
+	r, _, err := s.RunObserved(ctx, engine.Options{})
+	return r, err
 }
 
-func (s *System) snapshot() Result {
-	cs := s.Hier.Snapshot()
+// RunObserved runs the phase-aware engine with the given observation
+// options, returning the result plus the epoch time series (nil unless
+// opts.Collect). Results are bit-identical to RunContext regardless of
+// the observers attached.
+func (s *System) RunObserved(ctx context.Context, opts engine.Options) (Result, []engine.EpochSample, error) {
+	out, err := s.Engine(opts).Run(ctx)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return s.resultOf(out), out.Series, nil
+}
+
+// resultOf labels an engine outcome with this system's identity and
+// derives the per-instruction metrics.
+func (s *System) resultOf(out engine.Outcome) Result {
 	r := Result{
 		Workload:     s.workload.Name,
 		Policy:       s.Spec.Name,
-		IPC:          s.Core.IPC(),
-		Instructions: s.Core.MeasuredInstructions(),
-		Cycles:       s.Core.MeasuredCycles(),
-		Mem:          s.Ctl.Snapshot(),
-		Cache:        cs,
+		IPC:          out.IPC,
+		Instructions: out.Instructions,
+		Cycles:       out.Cycles,
+		Mem:          out.Mem,
+		Cache:        out.Cache,
 	}
 	if r.Instructions > 0 {
-		r.MPKI = float64(cs.LLCMisses) / (float64(r.Instructions) / 1000)
+		r.MPKI = float64(out.Cache.LLCMisses) / (float64(r.Instructions) / 1000)
 	}
 	return r
 }
@@ -136,6 +136,20 @@ func (s *System) snapshot() Result {
 // cfg and return the result.
 func Run(cfg config.Config, spec policy.Spec, workloadName string) (Result, error) {
 	return RunContext(context.Background(), cfg, spec, workloadName)
+}
+
+// RunObserved is RunContext with engine observation options: it returns
+// the result plus the collected epoch series (nil unless opts.Collect).
+func RunObserved(ctx context.Context, cfg config.Config, spec policy.Spec, workloadName string, opts engine.Options) (Result, []engine.EpochSample, error) {
+	w, err := trace.ByName(workloadName)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	sys, err := NewSystem(cfg, spec, w)
+	if err != nil {
+		return Result{}, nil, fmt.Errorf("core: %w", err)
+	}
+	return sys.RunObserved(ctx, opts)
 }
 
 // RunContext is Run with cancellation.

@@ -15,7 +15,9 @@ import (
 
 	"mellow/internal/config"
 	"mellow/internal/core"
+	"mellow/internal/engine"
 	"mellow/internal/policy"
+	"mellow/internal/sim"
 	"mellow/internal/trace"
 )
 
@@ -33,6 +35,17 @@ type Options struct {
 	Workloads []string
 	// Parallel bounds concurrent simulations (default: NumCPU).
 	Parallel int
+	// Epoch, when positive, runs every simulation observed at this
+	// sampling period and hands each collected series to OnSeries.
+	Epoch sim.Tick
+	// OnSeries receives one record per simulated (workload, policy) when
+	// Epoch is set. Calls are serialised but may come from any worker
+	// goroutine, in completion order.
+	OnSeries func(SeriesRecord)
+	// OnProgress, when set, is called after every simulation a sweep
+	// completes, with the done count and the sweep total. Calls are
+	// serialised; completion order is nondeterministic.
+	OnProgress func(done, total int)
 }
 
 func (o Options) ctx() context.Context {
@@ -108,19 +121,25 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
 }
 
-// runKey identifies one simulation for memoisation.
+// runKey identifies one simulation for memoisation. Observed runs key
+// on their sampling period and per-bank-damage flag too: the stored
+// epoch series is part of the memoised value, and equal keys must yield
+// equal bytes.
 type runKey struct {
-	cfg      string // canonical JSON of the config
-	policy   string
-	workload string
+	cfg        string // canonical JSON of the config
+	policy     string
+	workload   string
+	epoch      sim.Tick // 0 for unobserved runs
+	bankDamage bool
 }
 
-func keyFor(cfg config.Config, spec policy.Spec, workload string) runKey {
+func keyFor(cfg config.Config, spec policy.Spec, workload string, epoch sim.Tick, bankDamage bool) runKey {
 	b, err := cfg.CanonicalJSON()
 	if err != nil {
 		panic(fmt.Sprintf("experiments: config not serialisable: %v", err))
 	}
-	return runKey{cfg: string(b), policy: spec.Name, workload: workload}
+	return runKey{cfg: string(b), policy: spec.Name, workload: workload,
+		epoch: epoch, bankDamage: bankDamage}
 }
 
 // DefaultCacheCap bounds the memoisation cache so a long-lived process
@@ -137,10 +156,17 @@ type CacheStats struct {
 	Entries, InFlight       int
 }
 
+// cached is one memoised simulation: the result, plus the epoch series
+// for observed runs (nil otherwise). Entries are immutable once stored.
+type cached struct {
+	res    core.Result
+	series []engine.EpochSample
+}
+
 // flight is one in-progress simulation that concurrent callers join.
 type flight struct {
 	done chan struct{}
-	res  core.Result
+	res  cached
 	err  error
 }
 
@@ -149,7 +175,7 @@ type flight struct {
 type simCache struct {
 	mu       sync.Mutex
 	cap      int
-	entries  map[runKey]core.Result
+	entries  map[runKey]cached
 	order    []runKey // insertion order, for eviction
 	inflight map[runKey]*flight
 	hits     uint64
@@ -160,7 +186,7 @@ type simCache struct {
 func newSimCache(cap int) *simCache {
 	return &simCache{
 		cap:      cap,
-		entries:  map[runKey]core.Result{},
+		entries:  map[runKey]cached{},
 		inflight: map[runKey]*flight{},
 	}
 }
@@ -171,7 +197,7 @@ var memo = newSimCache(DefaultCacheCap)
 // already in flight, or runs fn itself and publishes the result. A
 // caller waiting on someone else's flight aborts with ctx's error when
 // cancelled; the flight itself keeps running for the others.
-func (c *simCache) do(ctx context.Context, key runKey, fn func() (core.Result, error)) (core.Result, error) {
+func (c *simCache) do(ctx context.Context, key runKey, fn func() (cached, error)) (cached, error) {
 	c.mu.Lock()
 	if r, ok := c.entries[key]; ok {
 		c.hits++
@@ -185,7 +211,7 @@ func (c *simCache) do(ctx context.Context, key runKey, fn func() (core.Result, e
 		case <-f.done:
 			return f.res, f.err
 		case <-ctx.Done():
-			return core.Result{}, ctx.Err()
+			return cached{}, ctx.Err()
 		}
 	}
 	c.misses++
@@ -207,7 +233,7 @@ func (c *simCache) do(ctx context.Context, key runKey, fn func() (core.Result, e
 
 // insert stores a finished result, evicting oldest-first past the cap.
 // Callers hold c.mu.
-func (c *simCache) insert(key runKey, r core.Result) {
+func (c *simCache) insert(key runKey, r cached) {
 	if _, ok := c.entries[key]; ok {
 		c.entries[key] = r
 		return
@@ -235,7 +261,7 @@ func (c *simCache) reset(cap int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cap = cap
-	c.entries = map[runKey]core.Result{}
+	c.entries = map[runKey]cached{}
 	c.order = nil
 	c.hits, c.misses, c.evicted = 0, 0, 0
 	// in-flight simulations publish into the fresh maps when they land.
@@ -267,9 +293,62 @@ func CacheSnapshot() CacheStats { return memo.stats() }
 // concurrently and its result is reused across callers — the primitive
 // the mellowd service builds on.
 func RunCached(ctx context.Context, cfg config.Config, spec policy.Spec, workload string) (core.Result, error) {
-	return memo.do(ctx, keyFor(cfg, spec, workload), func() (core.Result, error) {
-		return core.RunContext(ctx, cfg, spec, workload)
+	c, err := memo.do(ctx, keyFor(cfg, spec, workload, 0, false), func() (cached, error) {
+		r, err := core.RunContext(ctx, cfg, spec, workload)
+		return cached{res: r}, err
 	})
+	return c.res, err
+}
+
+// Observation configures an observed simulation run.
+type Observation struct {
+	// Epoch is the sampling period in ticks (0: engine.DefaultEpoch).
+	Epoch sim.Tick
+	// BankDamage includes the per-bank damage vector in every sample.
+	BankDamage bool
+	// Tracker, when set, receives the run's live progress and epochs.
+	// A memo hit or a joined in-flight run only reports completion (the
+	// simulating caller's tracker sees the intermediate samples).
+	Tracker *engine.Tracker
+}
+
+func (ob Observation) epoch() sim.Tick {
+	if ob.Epoch > 0 {
+		return ob.Epoch
+	}
+	return engine.DefaultEpoch
+}
+
+// RunObserved is RunCached for observed runs: the memoised value
+// carries the deterministic epoch series, so equal keys still yield
+// equal bytes. The returned series is shared and must not be modified.
+func RunObserved(ctx context.Context, cfg config.Config, spec policy.Spec, workload string, ob Observation) (core.Result, []engine.EpochSample, error) {
+	key := keyFor(cfg, spec, workload, ob.epoch(), ob.BankDamage)
+	c, err := memo.do(ctx, key, func() (cached, error) {
+		r, series, err := core.RunObserved(ctx, cfg, spec, workload, engine.Options{
+			Epoch:      ob.epoch(),
+			Collect:    true,
+			BankDamage: ob.BankDamage,
+			Tracker:    ob.Tracker,
+		})
+		return cached{res: r, series: series}, err
+	})
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	if ob.Tracker != nil {
+		// Covers the memo-hit and joined-flight paths; a no-op when this
+		// caller ran the simulation itself.
+		ob.Tracker.SetProgress(1)
+	}
+	return c.res, c.series, nil
+}
+
+// SeriesRecord labels one simulation's epoch series for export.
+type SeriesRecord struct {
+	Workload string               `json:"workload"`
+	Policy   string               `json:"policy"`
+	Series   []engine.EpochSample `json:"series"`
 }
 
 // job is one simulation to perform.
@@ -280,11 +359,16 @@ type job struct {
 }
 
 // runAll executes the jobs (memoised, parallel) and returns results
-// keyed by (policy, workload).
+// keyed by (policy, workload). With Options.Epoch set, runs are
+// observed and each series goes to OnSeries; OnProgress fires after
+// every completed job either way.
 func runAll(o Options, jobs []job) (map[[2]string]core.Result, error) {
 	ctx := o.ctx()
 	results := make(map[[2]string]core.Result, len(jobs))
 	var resMu sync.Mutex
+	var cbMu sync.Mutex // serialises OnSeries/OnProgress outside resMu
+	total := len(jobs)
+	done := 0
 	sem := make(chan struct{}, o.parallel())
 	var wg sync.WaitGroup
 	var firstErr error
@@ -303,16 +387,35 @@ func runAll(o Options, jobs []job) (map[[2]string]core.Result, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, err := RunCached(ctx, j.cfg, j.spec, j.workload)
+			var r core.Result
+			var series []engine.EpochSample
+			var err error
+			if o.Epoch > 0 {
+				r, series, err = RunObserved(ctx, j.cfg, j.spec, j.workload,
+					Observation{Epoch: o.Epoch})
+			} else {
+				r, err = RunCached(ctx, j.cfg, j.spec, j.workload)
+			}
 			resMu.Lock()
-			defer resMu.Unlock()
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err
 				}
+				resMu.Unlock()
 				return
 			}
 			results[[2]string{j.spec.Name, j.workload}] = r
+			resMu.Unlock()
+
+			cbMu.Lock()
+			done++
+			if o.OnSeries != nil && o.Epoch > 0 {
+				o.OnSeries(SeriesRecord{Workload: j.workload, Policy: j.spec.Name, Series: series})
+			}
+			if o.OnProgress != nil {
+				o.OnProgress(done, total)
+			}
+			cbMu.Unlock()
 		}()
 	}
 	wg.Wait()

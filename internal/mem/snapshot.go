@@ -172,6 +172,73 @@ func (c *Controller) ResetStats() {
 	}
 }
 
+// ProbeCounters is the controller's cumulative traffic-and-wear view,
+// cheap enough to snapshot from an epoch probe: counter copies plus one
+// pass over the (typically 16) banks, with no queue walks and no
+// mutation of simulation state.
+type ProbeCounters struct {
+	Counters
+	// WritesFast / WritesSlow split completed writes by pulse speed
+	// (normal vs any slow mode), cumulative since the last ResetStats'
+	// epoch base — the engine diffs consecutive snapshots.
+	WritesFast uint64
+	WritesSlow uint64
+	// BankDamage is cumulative per-bank wear in normal-write units
+	// (never reset: Wear Quota needs damage from time zero).
+	BankDamage []float64
+	// MaxBankDamage is the worst entry of BankDamage.
+	MaxBankDamage float64
+	// Queue occupancy and drain mode at the probe instant.
+	ReadQueue  int
+	WriteQueue int
+	EagerQueue int
+	Draining   bool
+}
+
+// ProbeCounters snapshots the controller for an epoch probe.
+func (c *Controller) ProbeCounters() ProbeCounters {
+	p := ProbeCounters{
+		Counters:   c.counts,
+		BankDamage: make([]float64, len(c.banks)),
+		ReadQueue:  len(c.readQ),
+		WriteQueue: len(c.writeQ),
+		EagerQueue: len(c.eagerQ),
+		Draining:   c.draining,
+	}
+	for b := range c.banks {
+		m := c.meters[b]
+		d := m.Damage()
+		p.BankDamage[b] = d
+		if d > p.MaxBankDamage {
+			p.MaxBankDamage = d
+		}
+		p.WritesFast += m.TotalCompleted() - m.SlowCompleted()
+		p.WritesSlow += m.SlowCompleted()
+	}
+	return p
+}
+
+// Delta returns the monotone counters accumulated since prev; the
+// instantaneous fields (queues, drain mode, damage) keep p's values.
+func (p ProbeCounters) Delta(prev ProbeCounters) ProbeCounters {
+	d := p
+	d.Reads -= prev.Reads
+	d.RowHits -= prev.RowHits
+	d.RowMisses -= prev.RowMisses
+	d.Forwarded -= prev.Forwarded
+	d.WriteQueued -= prev.WriteQueued
+	d.EagerQueued -= prev.EagerQueued
+	d.Coalesced -= prev.Coalesced
+	d.WritesDone -= prev.WritesDone
+	d.EagerDone -= prev.EagerDone
+	d.Cancellations -= prev.Cancellations
+	d.Pauses -= prev.Pauses
+	d.Drains -= prev.Drains
+	d.WritesFast -= prev.WritesFast
+	d.WritesSlow -= prev.WritesSlow
+	return d
+}
+
 // QueueDepths reports current queue occupancy (tests, debugging).
 func (c *Controller) QueueDepths() (read, write, eager int) {
 	return len(c.readQ), len(c.writeQ), len(c.eagerQ)

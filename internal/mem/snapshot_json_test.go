@@ -1,0 +1,93 @@
+package mem
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mellow/internal/sim"
+)
+
+// sampleSnapshot builds a snapshot with every JSON-visible field
+// populated, so a round trip exercises more than zero values.
+func sampleSnapshot(lifetime float64) Snapshot {
+	s := Snapshot{
+		Counters: Counters{
+			Reads: 120, RowHits: 40, RowMisses: 80, Forwarded: 3,
+			WriteQueued: 55, EagerQueued: 9, Coalesced: 2,
+			WritesDone: 50, EagerDone: 7, Cancellations: 4, Pauses: 6, Drains: 1,
+		},
+		Window:          sim.Tick(1_000_000),
+		WritesByMode:    [4]uint64{30, 10, 5, 5},
+		CancelledByMode: [4]uint64{2, 1, 1, 0},
+		GapMoves:        11,
+		BankAttempts:    400,
+		EnergyPJ:        123456.75,
+		DrainFraction:   0.125,
+		BankUtilization: []float64{0.5, 0.25},
+		AvgUtilization:  0.375,
+		LifetimeYears:   lifetime,
+		MaxBankDamage:   42.5,
+	}
+	return s
+}
+
+// TestSnapshotJSONRoundTrip checks the codec reproduces a finite
+// snapshot exactly.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	want := sampleSnapshot(17.25)
+	b, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip changed the snapshot:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestSnapshotInfiniteLifetimeJSON checks the infinite-lifetime mapping:
+// a window with no completed writes projects LifetimeYears = +Inf, which
+// JSON cannot carry as a number — it is encoded as null and decoded back
+// to +Inf.
+func TestSnapshotInfiniteLifetimeJSON(t *testing.T) {
+	for _, lifetime := range []float64{math.Inf(1), math.NaN()} {
+		b, err := json.Marshal(sampleSnapshot(lifetime))
+		if err != nil {
+			t.Fatalf("lifetime %v: %v", lifetime, err)
+		}
+		if !strings.Contains(string(b), `"LifetimeYears":null`) {
+			t.Fatalf("lifetime %v not encoded as null: %s", lifetime, b)
+		}
+		var got Snapshot
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(got.LifetimeYears, 1) {
+			t.Errorf("lifetime %v decoded to %v, want +Inf", lifetime, got.LifetimeYears)
+		}
+	}
+
+	// An explicit null also decodes to +Inf.
+	var got Snapshot
+	if err := json.Unmarshal([]byte(`{"LifetimeYears":null}`), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.LifetimeYears, 1) {
+		t.Errorf("null lifetime decoded to %v, want +Inf", got.LifetimeYears)
+	}
+
+	// A finite lifetime stays a number on the wire.
+	b, err := json.Marshal(sampleSnapshot(5.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"LifetimeYears":5.5`) {
+		t.Fatalf("finite lifetime not encoded as a number: %s", b)
+	}
+}

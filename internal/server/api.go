@@ -10,6 +10,7 @@ import (
 
 	"mellow/internal/config"
 	"mellow/internal/core"
+	"mellow/internal/engine"
 	"mellow/internal/experiments"
 	"mellow/internal/policy"
 	"mellow/internal/trace"
@@ -49,6 +50,12 @@ type JobRequest struct {
 	Seed     *uint64 `json:"seed,omitempty"`
 	Warmup   *uint64 `json:"warmup,omitempty"`
 	Detailed *uint64 `json:"detailed,omitempty"`
+	// IntervalNS, when positive, runs the job's simulations observed:
+	// an epoch sample is taken every IntervalNS nanoseconds of simulated
+	// time and the per-simulation series is embedded in the result. It
+	// enters the cache key — an observed result carries more bytes than
+	// an unobserved one for the same work.
+	IntervalNS uint64 `json:"interval_ns,omitempty"`
 	// TimeoutSeconds caps this job's execution (bounded by the server's
 	// per-job timeout). It does not enter the job's cache key.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
@@ -63,6 +70,7 @@ type canonicalJob struct {
 	Workloads  []string      `json:"workloads"`
 	Policies   []string      `json:"policies,omitempty"`
 	Experiment string        `json:"experiment,omitempty"`
+	IntervalNS uint64        `json:"interval_ns,omitempty"`
 }
 
 // normalize resolves a request against the base configuration,
@@ -88,6 +96,7 @@ func normalize(req JobRequest, base config.Config) (canonicalJob, string, error)
 	if err := c.Config.Validate(); err != nil {
 		return c, "", err
 	}
+	c.IntervalNS = req.IntervalNS
 
 	switch c.Kind {
 	case KindSim:
@@ -167,6 +176,14 @@ type JobStatus struct {
 	// instead of enqueueing a new simulation.
 	Deduped bool   `json:"deduped,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Progress is the job's fractional completion in [0, 1]: finished
+	// simulations plus the running simulation's own fraction, over the
+	// job's total. It is monotone non-decreasing across polls of one job
+	// and reaches 1 when the job is done.
+	Progress float64 `json:"progress"`
+	// Epoch is the most recent epoch sample of the currently running
+	// simulation (only for jobs submitted with interval_ns).
+	Epoch *engine.EpochSample `json:"epoch,omitempty"`
 	// Timing is reported on the status, never inside the result, so
 	// result bytes stay bit-identical across re-runs of the same key.
 	QueuedAt   time.Time  `json:"queued_at"`
@@ -184,6 +201,10 @@ type JobResult struct {
 	Kind string `json:"kind"`
 	// Results holds sim/compare outcomes in (workload, policy) order.
 	Results []core.Result `json:"results,omitempty"`
+	// Series holds the per-simulation epoch time series, in the same
+	// order as Results, for jobs submitted with interval_ns. The series
+	// is deterministic, so result bytes remain equal for equal keys.
+	Series []experiments.SeriesRecord `json:"series,omitempty"`
 	// Report holds an experiment job's rendered artifact.
 	Report *ExperimentReport `json:"report,omitempty"`
 }
@@ -194,6 +215,9 @@ type ExperimentReport struct {
 	ID     string `json:"id"`
 	Title  string `json:"title"`
 	Output string `json:"output"`
+	// Series carries the underlying simulations' epoch series when the
+	// run was observed (mellowbench -interval, interval_ns jobs).
+	Series []experiments.SeriesRecord `json:"series,omitempty"`
 }
 
 // APIError is the body of every non-2xx response.

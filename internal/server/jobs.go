@@ -3,14 +3,22 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"math"
+	"sort"
+	"sync/atomic"
 	"time"
 
+	"mellow/internal/engine"
 	"mellow/internal/experiments"
 	"mellow/internal/policy"
+	"mellow/internal/sim"
 )
 
 // jobState is one submitted job's lifecycle record. Mutable fields are
-// guarded by the owning Server's mutex; done closes on completion.
+// guarded by the owning Server's mutex; done closes on completion. The
+// progress tracker is lock-free so the status handler can read it while
+// the job runs.
 type jobState struct {
 	id    string
 	key   string
@@ -25,9 +33,103 @@ type jobState struct {
 	startedAt  time.Time
 	finishedAt time.Time
 	done       chan struct{}
+
+	progress jobProgress
 }
 
-// status renders the job for the API. Callers hold the server mutex.
+// jobProgress is a job's live completion state: simulations finished
+// out of the job's total, plus the running simulation's own tracker.
+// Only the executing worker writes; status readers see a monotone
+// non-decreasing fraction through the maxSeen clamp (the tracker handoff
+// between simulations could otherwise read a hair backwards).
+type jobProgress struct {
+	totalSims atomic.Uint64
+	doneSims  atomic.Uint64
+	tracker   atomic.Pointer[engine.Tracker]
+	last      atomic.Pointer[engine.EpochSample]
+	maxSeen   atomic.Uint64 // float64 bits
+}
+
+func (p *jobProgress) setTotal(n int) {
+	if n > 0 {
+		p.totalSims.Store(uint64(n))
+	}
+}
+
+// beginSim installs the next simulation's tracker (nil for unobserved
+// runs, which contribute progress only on completion).
+func (p *jobProgress) beginSim(tr *engine.Tracker) { p.tracker.Store(tr) }
+
+// endSim retires the current simulation: its last epoch sample is kept
+// for the status, the tracker is cleared, and the done count advances.
+func (p *jobProgress) endSim() {
+	if tr := p.tracker.Load(); tr != nil {
+		if s := tr.Sample(); s != nil {
+			p.last.Store(s)
+		}
+	}
+	p.tracker.Store(nil)
+	p.doneSims.Add(1)
+}
+
+// set records sweep progress reported by the experiments layer.
+func (p *jobProgress) set(done, total int) {
+	p.setTotal(total)
+	if done >= 0 {
+		p.doneSims.Store(uint64(done))
+	}
+}
+
+// finish pins the fraction at 1 (job completed successfully).
+func (p *jobProgress) finish() { p.clamp(1) }
+
+// clamp publishes f through the monotone max filter and returns the
+// published (never-decreasing) value.
+func (p *jobProgress) clamp(f float64) float64 {
+	if f < 0 || math.IsNaN(f) {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	for {
+		old := p.maxSeen.Load()
+		if math.Float64frombits(old) >= f {
+			return math.Float64frombits(old)
+		}
+		if p.maxSeen.CompareAndSwap(old, math.Float64bits(f)) {
+			return f
+		}
+	}
+}
+
+// fraction returns the job's completion in [0, 1], monotone across
+// calls.
+func (p *jobProgress) fraction() float64 {
+	total := p.totalSims.Load()
+	if total == 0 {
+		return p.clamp(0)
+	}
+	f := float64(p.doneSims.Load())
+	if tr := p.tracker.Load(); tr != nil {
+		f += tr.Progress()
+	}
+	return p.clamp(f / float64(total))
+}
+
+// sample returns the freshest epoch sample: the running simulation's,
+// or the last one a finished simulation left behind.
+func (p *jobProgress) sample() *engine.EpochSample {
+	if tr := p.tracker.Load(); tr != nil {
+		if s := tr.Sample(); s != nil {
+			return s
+		}
+	}
+	return p.last.Load()
+}
+
+// status renders the job for the API. Callers hold the server mutex;
+// the progress fields are read through their own atomics.
 func (j *jobState) status(deduped bool) JobStatus {
 	st := JobStatus{
 		ID:       j.id,
@@ -35,6 +137,8 @@ func (j *jobState) status(deduped bool) JobStatus {
 		State:    j.state,
 		Deduped:  deduped,
 		Error:    j.err,
+		Progress: j.progress.fraction(),
+		Epoch:    j.progress.sample(),
 		QueuedAt: j.queuedAt,
 	}
 	if !j.startedAt.IsZero() {
@@ -52,23 +156,73 @@ func (j *jobState) status(deduped bool) JobStatus {
 	return st
 }
 
+// sortSeriesRecords puts sweep series in a canonical order: OnSeries
+// delivers them in completion order, which is nondeterministic, but
+// result bytes must be equal for equal keys. Records are keyed by
+// (workload, policy) and — since one experiment can run the same pair
+// under several configs — tie-broken by their full JSON encoding, so
+// any remaining ties are byte-identical and order-irrelevant.
+func sortSeriesRecords(records []experiments.SeriesRecord) {
+	keys := make([]string, len(records))
+	for i, r := range records {
+		b, err := json.Marshal(r)
+		if err != nil {
+			b = []byte(r.Workload + "/" + r.Policy)
+		}
+		keys[i] = r.Workload + "\x00" + r.Policy + "\x00" + string(b)
+	}
+	sort.Sort(&recordSorter{records: records, keys: keys})
+}
+
+type recordSorter struct {
+	records []experiments.SeriesRecord
+	keys    []string
+}
+
+func (s *recordSorter) Len() int           { return len(s.records) }
+func (s *recordSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *recordSorter) Swap(i, j int) {
+	s.records[i], s.records[j] = s.records[j], s.records[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
 // runJob executes one job's simulations through the memoised harness,
-// so identical sub-simulations across different jobs run once.
-func runJob(ctx context.Context, canon canonicalJob, key string) (*JobResult, error) {
-	out := &JobResult{Key: key, Kind: canon.Kind}
+// so identical sub-simulations across different jobs run once. A
+// positive interval_ns runs them observed: per-epoch series land in the
+// result and the jobState's progress tracker feeds the status API live.
+func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
+	canon := js.canon
+	out := &JobResult{Key: js.key, Kind: canon.Kind}
+	epoch := sim.NS(canon.IntervalNS)
 	switch canon.Kind {
 	case KindSim, KindCompare:
+		js.progress.setTotal(len(canon.Workloads) * len(canon.Policies))
 		for _, w := range canon.Workloads {
 			for _, p := range canon.Policies {
 				spec, err := policy.Parse(p)
 				if err != nil {
 					return nil, err
 				}
-				r, err := experiments.RunCached(ctx, canon.Config, spec, w)
-				if err != nil {
-					return nil, err
+				if epoch > 0 {
+					tr := &engine.Tracker{}
+					js.progress.beginSim(tr)
+					r, series, err := experiments.RunObserved(ctx, canon.Config, spec, w,
+						experiments.Observation{Epoch: epoch, Tracker: tr})
+					js.progress.endSim()
+					if err != nil {
+						return nil, err
+					}
+					out.Results = append(out.Results, r)
+					out.Series = append(out.Series,
+						experiments.SeriesRecord{Workload: w, Policy: p, Series: series})
+				} else {
+					r, err := experiments.RunCached(ctx, canon.Config, spec, w)
+					js.progress.endSim()
+					if err != nil {
+						return nil, err
+					}
+					out.Results = append(out.Results, r)
 				}
-				out.Results = append(out.Results, r)
 			}
 		}
 	case KindExperiment:
@@ -77,16 +231,23 @@ func runJob(ctx context.Context, canon canonicalJob, key string) (*JobResult, er
 			return nil, err
 		}
 		var buf bytes.Buffer
-		err = e.Run(experiments.Options{
-			Ctx:       ctx,
-			Cfg:       canon.Config,
-			Out:       &buf,
-			Workloads: canon.Workloads,
-		})
-		if err != nil {
+		var records []experiments.SeriesRecord
+		opts := experiments.Options{
+			Ctx:        ctx,
+			Cfg:        canon.Config,
+			Out:        &buf,
+			Workloads:  canon.Workloads,
+			OnProgress: js.progress.set,
+		}
+		if epoch > 0 {
+			opts.Epoch = epoch
+			opts.OnSeries = func(rec experiments.SeriesRecord) { records = append(records, rec) }
+		}
+		if err := e.Run(opts); err != nil {
 			return nil, err
 		}
-		out.Report = &ExperimentReport{ID: e.ID, Title: e.Title, Output: buf.String()}
+		sortSeriesRecords(records)
+		out.Report = &ExperimentReport{ID: e.ID, Title: e.Title, Output: buf.String(), Series: records}
 	}
 	return out, nil
 }

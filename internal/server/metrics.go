@@ -3,7 +3,10 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,9 +24,11 @@ type metrics struct {
 	shed      atomic.Uint64 // rejected with 429: queue full
 	deduped   atomic.Uint64 // submissions joined to an existing job
 	resultHit atomic.Uint64 // submissions answered from the result cache
+	running   atomic.Int64  // jobs currently executing
 
-	mu      sync.Mutex
-	latency map[string]*stats.Histogram // by job kind, in microseconds
+	mu        sync.Mutex
+	latency   map[string]*stats.Histogram // by job kind, in microseconds
+	queueWait stats.Histogram             // admission → worker pickup, in microseconds
 }
 
 func newMetrics() *metrics {
@@ -42,6 +47,51 @@ func (m *metrics) observe(kind string, d time.Duration) {
 	h.Add(uint64(d.Microseconds()))
 }
 
+// observeWait records one job's time from admission to worker pickup.
+func (m *metrics) observeWait(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.mu.Lock()
+	m.queueWait.Add(uint64(d.Microseconds()))
+	m.mu.Unlock()
+}
+
+// buildLabels resolves the binary's identity for mellowd_build_info
+// once: Go runtime version plus the main module version and VCS
+// revision when the build recorded them.
+var buildLabels = sync.OnceValue(func() string {
+	version, revision := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, `"`, `\"`) }
+	return fmt.Sprintf(`go_version="%s",version="%s",revision="%s"`,
+		esc(runtime.Version()), esc(version), esc(revision))
+})
+
+// histogram renders one unlabelled stats.Histogram in Prometheus
+// exposition form, converting the microsecond buckets into "le" bounds
+// in seconds.
+func histogram(w io.Writer, name, help string, h *stats.Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", float64(b.Upper)/1e6), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.Sum())/1e6)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
 func counter(w io.Writer, name, help string, v uint64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 }
@@ -55,6 +105,8 @@ func gauge(w io.Writer, name, help string, v int) {
 // histograms (power-of-two buckets from internal/stats, cumulated into
 // Prometheus "le" bounds in seconds).
 func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers, resultEntries int) {
+	fmt.Fprintf(w, "# HELP mellowd_build_info Build identity of the running mellowd binary (value is always 1).\n"+
+		"# TYPE mellowd_build_info gauge\nmellowd_build_info{%s} 1\n", buildLabels())
 	counter(w, "mellowd_jobs_accepted_total", "Jobs admitted to the work queue.", m.accepted.Load())
 	counter(w, "mellowd_jobs_completed_total", "Jobs finished successfully.", m.completed.Load())
 	counter(w, "mellowd_jobs_failed_total", "Jobs finished with an error.", m.failed.Load())
@@ -64,6 +116,7 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers, resultEntrie
 	gauge(w, "mellowd_queue_depth", "Jobs waiting in the admission queue.", queueDepth)
 	gauge(w, "mellowd_queue_capacity", "Admission queue bound.", queueCap)
 	gauge(w, "mellowd_workers", "Worker pool size.", workers)
+	gauge(w, "mellowd_jobs_running", "Jobs currently executing on the worker pool.", int(m.running.Load()))
 	gauge(w, "mellowd_result_cache_entries", "Finished jobs held by the result cache.", resultEntries)
 
 	cs := experiments.CacheSnapshot()
@@ -74,6 +127,8 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers, resultEntrie
 	gauge(w, "mellowd_simcache_inflight", "Simulations currently running (deduplicated).", cs.InFlight)
 
 	m.mu.Lock()
+	histogram(w, "mellowd_queue_wait_seconds",
+		"Time jobs spent in the admission queue before a worker picked them up.", &m.queueWait)
 	kinds := make([]string, 0, len(m.latency))
 	for k := range m.latency {
 		kinds = append(kinds, k)

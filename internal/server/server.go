@@ -87,7 +87,7 @@ type Server struct {
 	nextID   atomic.Uint64
 
 	// exec runs one job; tests replace it to control timing.
-	exec func(ctx context.Context, canon canonicalJob, key string) (*JobResult, error)
+	exec func(ctx context.Context, js *jobState) (*JobResult, error)
 }
 
 // New builds a Server and starts its worker pool.
@@ -125,12 +125,15 @@ func (s *Server) execute(js *jobState) {
 	js.startedAt = time.Now()
 	timeout := js.timeout
 	s.mu.Unlock()
+	s.met.observeWait(js.startedAt.Sub(js.queuedAt))
+	s.met.running.Add(1)
+	defer s.met.running.Add(-1)
 
 	if timeout <= 0 || timeout > s.cfg.JobTimeout {
 		timeout = s.cfg.JobTimeout
 	}
 	ctx, cancel := context.WithTimeout(s.runCtx, timeout)
-	res, err := s.exec(ctx, js.canon, js.key)
+	res, err := s.exec(ctx, js)
 	cancel()
 
 	s.mu.Lock()
@@ -142,6 +145,7 @@ func (s *Server) execute(js *jobState) {
 	} else {
 		js.state = StateDone
 		js.result = res
+		js.progress.finish()
 		s.met.completed.Add(1)
 	}
 	s.finished = append(s.finished, js.id)

@@ -165,9 +165,9 @@ func TestDedupConcurrent(t *testing.T) {
 	// first job is demonstrably still active.
 	gate := make(chan struct{})
 	realExec := s.exec
-	s.exec = func(ctx context.Context, canon canonicalJob, key string) (*JobResult, error) {
+	s.exec = func(ctx context.Context, js *jobState) (*JobResult, error) {
 		<-gate
-		return realExec(ctx, canon, key)
+		return realExec(ctx, js)
 	}
 
 	const clients = 8
@@ -230,13 +230,13 @@ func TestDedupConcurrent(t *testing.T) {
 func TestShedsUnderSaturation(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, BaseConfig: tinyBase(31)})
 	gate := make(chan struct{})
-	s.exec = func(ctx context.Context, canon canonicalJob, key string) (*JobResult, error) {
+	s.exec = func(ctx context.Context, js *jobState) (*JobResult, error) {
 		select {
 		case <-gate:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
-		return &JobResult{Key: key, Kind: canon.Kind}, nil
+		return &JobResult{Key: js.key, Kind: js.canon.Kind}, nil
 	}
 
 	// Distinct seeds make distinct keys: 1 running + 2 queued fill the
@@ -292,10 +292,10 @@ func TestGracefulDrain(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, BaseConfig: tinyBase(41)})
 	started := make(chan struct{}, 8)
 	gate := make(chan struct{})
-	s.exec = func(ctx context.Context, canon canonicalJob, key string) (*JobResult, error) {
+	s.exec = func(ctx context.Context, js *jobState) (*JobResult, error) {
 		started <- struct{}{}
 		<-gate
-		return &JobResult{Key: key, Kind: canon.Kind}, nil
+		return &JobResult{Key: js.key, Kind: js.canon.Kind}, nil
 	}
 
 	var ids []string
@@ -352,7 +352,7 @@ func TestGracefulDrain(t *testing.T) {
 // deadline error.
 func TestHardStopCancelsJobs(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, BaseConfig: tinyBase(43)})
-	s.exec = func(ctx context.Context, canon canonicalJob, key string) (*JobResult, error) {
+	s.exec = func(ctx context.Context, js *jobState) (*JobResult, error) {
 		<-ctx.Done() // run "forever" until cancelled
 		return nil, ctx.Err()
 	}
@@ -457,6 +457,15 @@ func TestKeyNormalization(t *testing.T) {
 	if k4 != k1 {
 		t.Error("timeout changed the content address")
 	}
+	// The observation interval IS identity: an observed result carries
+	// the epoch series, so it must not answer an unobserved request.
+	_, k5, err := normalize(JobRequest{Workload: "stream", Policy: "Norm", IntervalNS: 500_000}, *base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k5 == k1 {
+		t.Error("interval_ns did not change the content address")
+	}
 }
 
 // TestHealthAndMetrics spot-checks the observability endpoints.
@@ -496,6 +505,9 @@ func TestHealthAndMetrics(t *testing.T) {
 		"mellowd_job_duration_seconds_bucket{kind=\"sim\",le=\"+Inf\"} 1",
 		"mellowd_job_duration_seconds_count{kind=\"sim\"} 1",
 		"mellowd_queue_depth 0",
+		"mellowd_build_info{go_version=\"go",
+		"mellowd_queue_wait_seconds_count 1",
+		"mellowd_jobs_running 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
@@ -503,11 +515,82 @@ func TestHealthAndMetrics(t *testing.T) {
 	}
 }
 
+// TestJobProgressMonotone is the live-progress acceptance check: while
+// a long job runs, GET /v1/jobs/{id} reports a strictly increasing
+// progress fraction, finishing at exactly 1, and an interval_ns job
+// embeds one epoch series per simulation in its result.
+func TestJobProgressMonotone(t *testing.T) {
+	experiments.ResetCache()
+	base := tinyBase(91)
+	base.Run.DetailedInstructions = 1_500_000
+	_, ts := newTestServer(t, Config{Workers: 1, BaseConfig: base})
+
+	st, code := postJob(t, ts,
+		`{"kind":"compare","workload":"GemsFDTD","policies":["Norm","BE-Mellow+SC"],"interval_ns":100000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("code = %d", code)
+	}
+
+	var observed []float64
+	var sawEpoch bool
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(observed); n == 0 || cur.Progress != observed[n-1] {
+			observed = append(observed, cur.Progress)
+		}
+		if cur.Epoch != nil {
+			sawEpoch = true
+		}
+		if cur.State == StateDone || cur.State == StateFailed {
+			if cur.State != StateDone {
+				t.Fatalf("state = %s (%s)", cur.State, cur.Error)
+			}
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	for i := 1; i < len(observed); i++ {
+		if observed[i] <= observed[i-1] {
+			t.Fatalf("progress not strictly increasing: %v", observed)
+		}
+	}
+	if len(observed) < 3 {
+		t.Errorf("saw only %d distinct progress values: %v", len(observed), observed)
+	}
+	if final := observed[len(observed)-1]; final != 1 {
+		t.Errorf("final progress = %v, want 1", final)
+	}
+	if !sawEpoch {
+		t.Error("no status carried an epoch sample")
+	}
+
+	fin := waitDone(t, ts, st.ID)
+	if len(fin.Result.Series) != 2 {
+		t.Fatalf("result carries %d series records, want 2", len(fin.Result.Series))
+	}
+	for _, rec := range fin.Result.Series {
+		if rec.Workload != "GemsFDTD" || len(rec.Series) == 0 {
+			t.Errorf("bad series record: %s/%s with %d samples", rec.Workload, rec.Policy, len(rec.Series))
+		}
+	}
+}
+
 // TestResultEviction bounds the finished-job cache.
 func TestResultEviction(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 16, MaxResults: 2, BaseConfig: tinyBase(83)})
-	s.exec = func(ctx context.Context, canon canonicalJob, key string) (*JobResult, error) {
-		return &JobResult{Key: key, Kind: canon.Kind}, nil
+	s.exec = func(ctx context.Context, js *jobState) (*JobResult, error) {
+		return &JobResult{Key: js.key, Kind: js.canon.Kind}, nil
 	}
 	var first JobStatus
 	for seed := 1; seed <= 4; seed++ {

@@ -8,7 +8,10 @@
 // the paper is an integer number of ticks.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+)
 
 // Tick is a point in simulated time, in units of 0.5 ns.
 type Tick uint64
@@ -63,6 +66,19 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// ProbeID names a registered periodic probe for removal.
+type ProbeID int
+
+// probe is a periodic read-only observer: fn fires at every multiple of
+// period past its registration time, interleaved deterministically with
+// the event heap (see AddProbe for the contract).
+type probe struct {
+	id     ProbeID
+	period Tick
+	next   Tick
+	fn     Event
+}
+
 // Kernel is a discrete-event scheduler. The zero value is ready to use.
 // It is not safe for concurrent use; the whole simulator is single-threaded
 // and deterministic.
@@ -71,6 +87,10 @@ type Kernel struct {
 	seq    uint64
 	events eventHeap
 	fired  uint64
+
+	probes      []probe
+	nextProbeID ProbeID
+	inProbe     bool
 }
 
 // Now returns the current simulated time.
@@ -84,20 +104,86 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) is a programming error and panics: the kernel can never run time
-// backwards.
+// backwards. Probe callbacks are observers and may not schedule.
 func (k *Kernel) At(t Tick, fn Event) {
+	if k.inProbe {
+		panic("sim: probe callbacks are read-only observers and must not schedule events")
+	}
 	if t < k.now {
-		panic("sim: event scheduled in the past")
+		panic(fmt.Sprintf("sim: event scheduled in the past (at tick %d, now %d)", t, k.now))
 	}
 	k.seq++
 	heap.Push(&k.events, pendingEvent{at: t, seq: k.seq, fire: fn})
 }
 
+// AddProbe registers a periodic observer: fn fires at ticks now+period,
+// now+2·period, … for as long as the kernel advances. Probes are
+// deterministic with respect to the event heap — a probe due at tick T
+// fires after every event scheduled strictly before T and before any
+// event at or after T, and probes due at the same tick fire in
+// registration order. Probes never keep the simulation alive (a due time
+// beyond the last event or AdvanceTo horizon does not fire), never
+// appear in Pending or Fired, and must not schedule events or mutate
+// simulated state: they exist so telemetry can snapshot the system
+// without perturbing it. A zero or negative period panics.
+func (k *Kernel) AddProbe(period Tick, fn Event) ProbeID {
+	if period == 0 {
+		panic("sim: probe period must be positive")
+	}
+	k.nextProbeID++
+	id := k.nextProbeID
+	k.probes = append(k.probes, probe{id: id, period: period, next: k.now + period, fn: fn})
+	return id
+}
+
+// RemoveProbe unregisters a probe. Unknown ids are ignored.
+func (k *Kernel) RemoveProbe(id ProbeID) {
+	for i := range k.probes {
+		if k.probes[i].id == id {
+			k.probes = append(k.probes[:i], k.probes[i+1:]...)
+			return
+		}
+	}
+}
+
+// fireProbesTo runs every probe due at or before target, in (due time,
+// registration order), advancing the clock to each due time.
+func (k *Kernel) fireProbesTo(target Tick) {
+	for {
+		best := -1
+		for i := range k.probes {
+			if k.probes[i].next > target {
+				continue
+			}
+			if best < 0 || k.probes[i].next < k.probes[best].next ||
+				(k.probes[i].next == k.probes[best].next && k.probes[i].id < k.probes[best].id) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		p := &k.probes[best]
+		due := p.next
+		p.next += p.period
+		if due > k.now {
+			k.now = due
+		}
+		k.inProbe = true
+		p.fn(due)
+		k.inProbe = false
+	}
+}
+
 // After schedules fn to run d ticks from now.
 func (k *Kernel) After(d Tick, fn Event) { k.At(k.now+d, fn) }
 
-// step fires the earliest pending event, advancing the clock to its time.
+// step fires the earliest pending event, advancing the clock to its
+// time. Probes due at or before the event's tick fire first.
 func (k *Kernel) step() {
+	if len(k.probes) > 0 {
+		k.fireProbesTo(k.events[0].at)
+	}
 	ev := heap.Pop(&k.events).(pendingEvent)
 	k.now = ev.at
 	k.fired++
@@ -110,6 +196,9 @@ func (k *Kernel) step() {
 func (k *Kernel) AdvanceTo(t Tick) {
 	for len(k.events) > 0 && k.events[0].at <= t {
 		k.step()
+	}
+	if len(k.probes) > 0 {
+		k.fireProbesTo(t)
 	}
 	if t > k.now {
 		k.now = t

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -156,5 +157,192 @@ func TestQuickEventOrdering(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestProbeFiresAtPeriodMultiples(t *testing.T) {
+	var k Kernel
+	var fired []Tick
+	k.AddProbe(10, func(now Tick) { fired = append(fired, now) })
+	for i := Tick(1); i <= 50; i++ {
+		k.At(i, func(Tick) {})
+	}
+	k.Drain()
+	want := []Tick{10, 20, 30, 40, 50}
+	if len(fired) != len(want) {
+		t.Fatalf("probe fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("probe fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestProbeObservesStateBeforeItsTick(t *testing.T) {
+	// A probe due at tick T fires after every event strictly before T and
+	// before any event at T.
+	var k Kernel
+	events := 0
+	var seen []int
+	k.AddProbe(10, func(Tick) { seen = append(seen, events) })
+	for i := Tick(5); i <= 30; i += 5 {
+		k.At(i, func(Tick) { events++ })
+	}
+	k.Drain()
+	// Due at 10: events at 5 fired (1). Due at 20: 5,10,15 fired (3).
+	// Due at 30: 5..25 fired (5).
+	want := []int{1, 3, 5}
+	if len(seen) != len(want) {
+		t.Fatalf("probe observations = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("probe observations = %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestProbesFireDuringAdvanceToWithoutEvents(t *testing.T) {
+	var k Kernel
+	var fired []Tick
+	k.AddProbe(7, func(now Tick) { fired = append(fired, now) })
+	k.AdvanceTo(20)
+	if len(fired) != 2 || fired[0] != 7 || fired[1] != 14 {
+		t.Fatalf("probe fired at %v, want [7 14]", fired)
+	}
+	if k.Now() != 20 {
+		t.Errorf("Now = %d, want 20", k.Now())
+	}
+	// Probes do not fire past the horizon and do not keep time alive.
+	if k.Pending() != 0 {
+		t.Errorf("probes leaked into the event heap: pending = %d", k.Pending())
+	}
+}
+
+func TestProbeRegistrationOrderBreaksTies(t *testing.T) {
+	var k Kernel
+	var order []int
+	k.AddProbe(10, func(Tick) { order = append(order, 1) })
+	k.AddProbe(5, func(Tick) { order = append(order, 2) })
+	k.AdvanceTo(10)
+	// Tick 5: probe 2. Tick 10: both due; registration order wins.
+	want := []int{2, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("probe order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("probe order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRemoveProbe(t *testing.T) {
+	var k Kernel
+	fired := 0
+	id := k.AddProbe(10, func(Tick) { fired++ })
+	k.AdvanceTo(25)
+	k.RemoveProbe(id)
+	k.AdvanceTo(100)
+	if fired != 2 {
+		t.Errorf("probe fired %d times, want 2 (removed after tick 25)", fired)
+	}
+	k.RemoveProbe(id) // unknown id is a no-op
+}
+
+func TestProbeDoesNotPerturbEvents(t *testing.T) {
+	// The same event workload, with and without a probe, fires the same
+	// events at the same times and leaves the same clock.
+	run := func(withProbe bool) (fired []Tick, now Tick, count uint64) {
+		var k Kernel
+		if withProbe {
+			k.AddProbe(3, func(Tick) {})
+		}
+		var chain Event
+		chain = func(t Tick) {
+			fired = append(fired, t)
+			if t < 50 {
+				k.After(7, chain)
+			}
+		}
+		k.At(1, chain)
+		k.Drain()
+		return fired, k.Now(), k.Fired()
+	}
+	f1, n1, c1 := run(false)
+	f2, n2, c2 := run(true)
+	if n1 != n2 || c1 != c2 || len(f1) != len(f2) {
+		t.Fatalf("probe perturbed the run: now %d vs %d, fired %d vs %d", n1, n2, c1, c2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("event times diverge at %d: %d vs %d", i, f1[i], f2[i])
+		}
+	}
+}
+
+func TestProbeCannotSchedule(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling from a probe did not panic")
+		}
+	}()
+	var k Kernel
+	k.AddProbe(5, func(Tick) { k.At(100, func(Tick) {}) })
+	k.AdvanceTo(10)
+}
+
+func TestZeroProbePeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero probe period did not panic")
+		}
+	}()
+	var k Kernel
+	k.AddProbe(0, func(Tick) {})
+}
+
+func TestSchedulePastPanicNamesTicks(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want string", r, r)
+		}
+		for _, want := range []string{"at tick 50", "now 100"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q does not mention %q", msg, want)
+			}
+		}
+	}()
+	var k Kernel
+	k.AdvanceTo(100)
+	k.At(50, func(Tick) {})
+}
+
+// BenchmarkEventLoop measures the kernel hot path: schedule + fire, with
+// no probes registered (the common case the probe hook must not slow).
+func BenchmarkEventLoop(b *testing.B) {
+	var k Kernel
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(1, func(Tick) {})
+		k.AdvanceTo(k.Now() + 1)
+	}
+}
+
+// BenchmarkEventLoopWithProbe is the same loop with one registered probe
+// firing every 1000 ticks.
+func BenchmarkEventLoopWithProbe(b *testing.B) {
+	var k Kernel
+	k.AddProbe(1000, func(Tick) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(1, func(Tick) {})
+		k.AdvanceTo(k.Now() + 1)
 	}
 }

@@ -6,9 +6,11 @@ import (
 
 	"mellow/internal/config"
 	"mellow/internal/core"
+	"mellow/internal/engine"
 	"mellow/internal/experiments"
 	"mellow/internal/nvm"
 	"mellow/internal/policy"
+	"mellow/internal/sim"
 	"mellow/internal/trace"
 )
 
@@ -44,6 +46,49 @@ func Run(cfg Config, p Policy, workload string) (Result, error) {
 func RunContext(ctx context.Context, cfg Config, p Policy, workload string) (Result, error) {
 	return core.RunContext(ctx, cfg, p, workload)
 }
+
+// Tick is the simulation time unit: 0.5 ns of simulated time.
+type Tick = sim.Tick
+
+// NS converts nanoseconds of simulated time to ticks.
+func NS(ns uint64) Tick { return sim.NS(ns) }
+
+// EpochSample is one closed observation interval of an observed run:
+// interval deltas of the core, LLC and memory counters, plus queue and
+// wear state at the epoch boundary.
+type EpochSample = engine.EpochSample
+
+// Tracker publishes an observed run's live progress and latest epoch
+// through atomics; safe to read from any goroutine while the run
+// executes.
+type Tracker = engine.Tracker
+
+// Observation configures an observed run: the sampling period (0:
+// DefaultEpoch, the paper's 500 µs T_sample), whether samples carry the
+// per-bank damage vector, and an optional live Tracker.
+type Observation = experiments.Observation
+
+// DefaultEpoch is the default sampling period: 500 µs of simulated
+// time, one profiler-rotation/Wear-Quota interval.
+const DefaultEpoch = engine.DefaultEpoch
+
+// SeriesRecord labels one simulation's epoch series for export.
+type SeriesRecord = experiments.SeriesRecord
+
+// RunObserved simulates like RunContext but samples an epoch time
+// series on the side. Results are bit-identical to an unobserved run
+// and the series is deterministic: same (config, policy, workload,
+// observation) → same samples. Runs are memoised like RunExperiment's.
+func RunObserved(ctx context.Context, cfg Config, p Policy, workload string, ob Observation) (Result, []EpochSample, error) {
+	return experiments.RunObserved(ctx, cfg, p, workload, ob)
+}
+
+// WriteSeries encodes an epoch series as deterministic JSON.
+func WriteSeries(w io.Writer, samples []EpochSample) error { return engine.WriteSeries(w, samples) }
+
+// ReadSeries decodes a series written by WriteSeries, validating the
+// epoch determinism contract (consecutive indexes, increasing ticks).
+func ReadSeries(r io.Reader) ([]EpochSample, error) { return engine.ReadSeries(r) }
 
 // Workloads returns the 11-benchmark suite of Table IV.
 func Workloads() []string { return trace.Names() }
