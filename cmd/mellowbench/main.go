@@ -8,6 +8,7 @@
 //	mellowbench -exp fig2 -workloads stream,lbm,gups
 //	mellowbench -exp fig11 -json        # machine-readable reports
 //	mellowbench -exp all -timeout 10m   # bound the whole run
+//	mellowbench -exp all -parallel 4    # at most 4 concurrent simulations
 //	mellowbench -exp fig11 -progress    # live sweep status on stderr
 //	mellowbench -exp fig11 -interval 500us   # per-epoch time series as JSON
 //	mellowbench -list
@@ -26,10 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"mellow"
+	"mellow/internal/sched"
 	"mellow/internal/server"
 )
 
@@ -40,12 +43,23 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated subset of the suite")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0: no limit)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "process-wide cap on concurrent simulations")
 		jsonOut   = flag.Bool("json", false, "emit reports as JSON (mellowd's experiment encoding)")
-		interval  = flag.Duration("interval", 0, "sample an epoch series at this period of simulated time (e.g. 500us; 0: off)")
+		interval  = flag.Duration("interval", 0, "sample an epoch series at this period of simulated time (e.g. 500us, min 1us; 0: off)")
 		progress  = flag.Bool("progress", false, "report sweep progress on stderr")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+
+	// Same floor mellowd enforces at admission: finer sampling than 1 µs
+	// of simulated time produces an effectively unbounded series.
+	if *interval > 0 && *interval < time.Microsecond {
+		fmt.Fprintf(os.Stderr, "mellowbench: -interval %v below the 1µs floor\n", *interval)
+		os.Exit(1)
+	}
+	// All simulations in the process share one scheduler: its budget is
+	// the hard cap on concurrency however wide the sweeps fan out.
+	sched.Default().SetBudget(int64(*parallel))
 
 	if *list {
 		for _, e := range mellow.Experiments() {

@@ -7,6 +7,7 @@
 //
 //	mellowd                              # listen on :8077
 //	mellowd -addr :9000 -workers 8 -queue 64
+//	mellowd -sim-budget 4                # at most 4 concurrent simulations, any job mix
 //	mellowd -job-timeout 5m -quick
 //
 // API:
@@ -41,7 +42,8 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8077", "listen address")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "job worker pool size")
+		simBudget  = flag.Int("sim-budget", runtime.GOMAXPROCS(0), "process-wide cap on concurrent simulations across all jobs")
 		queue      = flag.Int("queue", 0, "admission queue bound (default 4x workers)")
 		jobTimeout = flag.Duration("job-timeout", 15*time.Minute, "per-job execution cap")
 		drain      = flag.Duration("drain", 10*time.Minute, "graceful-shutdown drain budget")
@@ -61,6 +63,7 @@ func main() {
 	}
 	svc := server.New(server.Config{
 		Workers:    *workers,
+		SimBudget:  *simBudget,
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
 		MaxResults: *maxResults,
@@ -79,7 +82,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Info("mellowd listening", "addr", *addr, "workers", *workers)
+	log.Info("mellowd listening", "addr", *addr, "workers", *workers, "sim_budget", *simBudget)
 
 	select {
 	case <-ctx.Done():

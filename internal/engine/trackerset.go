@@ -1,0 +1,69 @@
+package engine
+
+import "sync"
+
+// TrackerSet aggregates the live Trackers of simulations running in
+// parallel for one logical job. A status reader sums the members'
+// progress and picks the freshest epoch sample without knowing how many
+// simulations are in flight at that instant; membership churns as the
+// job's simulations start and retire. The zero value is ready to use.
+type TrackerSet struct {
+	mu     sync.Mutex
+	active map[*Tracker]struct{}
+}
+
+// Add registers a running simulation's tracker. Nil trackers are
+// ignored.
+func (s *TrackerSet) Add(t *Tracker) {
+	if t == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.active == nil {
+		s.active = map[*Tracker]struct{}{}
+	}
+	s.active[t] = struct{}{}
+	s.mu.Unlock()
+}
+
+// Remove retires a tracker; removing one that was never added is a
+// no-op.
+func (s *TrackerSet) Remove(t *Tracker) {
+	s.mu.Lock()
+	delete(s.active, t)
+	s.mu.Unlock()
+}
+
+// Len returns the number of active trackers.
+func (s *TrackerSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
+// SumProgress returns the sum of the active trackers' completion
+// fractions — the in-flight contribution to a job's "done + partial"
+// progress figure.
+func (s *TrackerSet) SumProgress() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum float64
+	for t := range s.active {
+		sum += t.Progress()
+	}
+	return sum
+}
+
+// Freshest returns the epoch sample with the greatest end tick among
+// the active trackers, or nil if none has closed an epoch yet.
+func (s *TrackerSet) Freshest() *EpochSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *EpochSample
+	for t := range s.active {
+		if smp := t.Sample(); smp != nil && (best == nil || smp.End > best.End) {
+			best = smp
+		}
+	}
+	return best
+}

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrackerSetAggregation(t *testing.T) {
+	var set TrackerSet
+	if set.Len() != 0 || set.SumProgress() != 0 || set.Freshest() != nil {
+		t.Fatal("zero-value TrackerSet not empty")
+	}
+
+	a, b := &Tracker{}, &Tracker{}
+	set.Add(a)
+	set.Add(b)
+	set.Add(nil) // ignored
+	if set.Len() != 2 {
+		t.Fatalf("len = %d, want 2", set.Len())
+	}
+
+	a.SetProgress(0.25)
+	b.SetProgress(0.5)
+	if got := set.SumProgress(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("sum = %v, want 0.75", got)
+	}
+
+	// Freshest picks the greatest end tick across members.
+	a.publish(&EpochSample{Epoch: 0, End: 100, Progress: 0.3})
+	b.publish(&EpochSample{Epoch: 0, End: 250, Progress: 0.6})
+	if s := set.Freshest(); s == nil || s.End != 250 {
+		t.Fatalf("freshest = %+v, want end tick 250", s)
+	}
+
+	set.Remove(b)
+	if s := set.Freshest(); s == nil || s.End != 100 {
+		t.Fatalf("freshest after remove = %+v, want end tick 100", s)
+	}
+	if got := set.SumProgress(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("sum after remove = %v, want 0.3 (a's published progress)", got)
+	}
+
+	set.Remove(b) // double remove is a no-op
+	set.Remove(a)
+	if set.Len() != 0 || set.Freshest() != nil {
+		t.Fatal("set not empty after removing all members")
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -17,6 +16,7 @@ import (
 	"mellow/internal/core"
 	"mellow/internal/engine"
 	"mellow/internal/policy"
+	"mellow/internal/sched"
 	"mellow/internal/sim"
 	"mellow/internal/trace"
 )
@@ -33,7 +33,10 @@ type Options struct {
 	Out io.Writer
 	// Workloads restricts the benchmark suite (default: all 11).
 	Workloads []string
-	// Parallel bounds concurrent simulations (default: NumCPU).
+	// Parallel, when positive, additionally throttles this sweep's
+	// fan-out. Simulation concurrency itself is governed by the
+	// process-wide sched.Default() budget — every simulation acquires a
+	// scheduler slot before it runs, whatever sweep or job spawned it.
 	Parallel int
 	// Epoch, when positive, runs every simulation observed at this
 	// sampling period and hands each collected series to OnSeries.
@@ -61,13 +64,6 @@ func (o Options) workloads() []string {
 		return o.Workloads
 	}
 	return trace.Names()
-}
-
-func (o Options) parallel() int {
-	if o.Parallel > 0 {
-		return o.Parallel
-	}
-	return runtime.NumCPU()
 }
 
 // Experiment is one reproducible artifact of the paper.
@@ -154,6 +150,11 @@ const DefaultCacheCap = 4096
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
 	Entries, InFlight       int
+	// Running counts simulations executing right now — flights that hold
+	// a scheduler slot, as opposed to InFlight, which also counts
+	// flights queued for one. PeakRunning is its high-water mark: with
+	// scheduler budget B, PeakRunning <= B always holds.
+	Running, PeakRunning int
 }
 
 // cached is one memoised simulation: the result, plus the epoch series
@@ -181,6 +182,8 @@ type simCache struct {
 	hits     uint64
 	misses   uint64
 	evicted  uint64
+	running  int // flights holding a scheduler slot right now
+	peakRun  int // high-water mark of running
 }
 
 func newSimCache(cap int) *simCache {
@@ -197,6 +200,14 @@ var memo = newSimCache(DefaultCacheCap)
 // already in flight, or runs fn itself and publishes the result. A
 // caller waiting on someone else's flight aborts with ctx's error when
 // cancelled; the flight itself keeps running for the others.
+//
+// The executing caller acquires one slot from the process-wide
+// scheduler before fn runs, so total concurrent simulations never
+// exceed the sched budget regardless of how many sweeps or jobs fan out
+// at once. Cache hits and singleflight joins never consume a slot. If
+// the executing caller's context ends while it is queued for a slot,
+// the flight fails with that error for every joiner too — the same
+// outcome as the runner being cancelled mid-simulation.
 func (c *simCache) do(ctx context.Context, key runKey, fn func() (cached, error)) (cached, error) {
 	c.mu.Lock()
 	if r, ok := c.entries[key]; ok {
@@ -219,7 +230,15 @@ func (c *simCache) do(ctx context.Context, key runKey, fn func() (cached, error)
 	c.inflight[key] = f
 	c.mu.Unlock()
 
-	f.res, f.err = fn()
+	release, err := sched.Default().Acquire(ctx, 1)
+	if err != nil {
+		f.err = err
+	} else {
+		c.noteRunning(+1)
+		f.res, f.err = fn()
+		c.noteRunning(-1)
+		release()
+	}
 
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -229,6 +248,18 @@ func (c *simCache) do(ctx context.Context, key runKey, fn func() (cached, error)
 	c.mu.Unlock()
 	close(f.done)
 	return f.res, f.err
+}
+
+// noteRunning tracks how many flights hold a scheduler slot, and the
+// high-water mark — the budget test's witness that concurrent
+// simulations never exceed the sched budget.
+func (c *simCache) noteRunning(d int) {
+	c.mu.Lock()
+	c.running += d
+	if c.running > c.peakRun {
+		c.peakRun = c.running
+	}
+	c.mu.Unlock()
 }
 
 // insert stores a finished result, evicting oldest-first past the cap.
@@ -254,6 +285,7 @@ func (c *simCache) stats() CacheStats {
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evicted,
 		Entries: len(c.entries), InFlight: len(c.inflight),
+		Running: c.running, PeakRunning: c.peakRun,
 	}
 }
 
@@ -264,6 +296,7 @@ func (c *simCache) reset(cap int) {
 	c.entries = map[runKey]cached{}
 	c.order = nil
 	c.hits, c.misses, c.evicted = 0, 0, 0
+	c.peakRun = c.running
 	// in-flight simulations publish into the fresh maps when they land.
 	c.inflight = map[runKey]*flight{}
 }
@@ -361,7 +394,14 @@ type job struct {
 // runAll executes the jobs (memoised, parallel) and returns results
 // keyed by (policy, workload). With Options.Epoch set, runs are
 // observed and each series goes to OnSeries; OnProgress fires after
-// every completed job either way.
+// every attempted job either way — including failed ones, so a sweep
+// that errors still accounts for every simulation it attempted and a
+// caller's progress figure never freezes at an arbitrary value.
+//
+// Concurrency is bounded by the process-wide sched.Default() budget
+// (acquired per simulation at the memo-cache miss), not by a sweep-
+// local semaphore: many sweeps fanning out at once still run at most
+// budget simulations in total.
 func runAll(o Options, jobs []job) (map[[2]string]core.Result, error) {
 	ctx := o.ctx()
 	results := make(map[[2]string]core.Result, len(jobs))
@@ -369,7 +409,12 @@ func runAll(o Options, jobs []job) (map[[2]string]core.Result, error) {
 	var cbMu sync.Mutex // serialises OnSeries/OnProgress outside resMu
 	total := len(jobs)
 	done := 0
-	sem := make(chan struct{}, o.parallel())
+	// Optional sweep-local fan-out throttle, in addition to the
+	// process-wide scheduler gate.
+	var sem chan struct{}
+	if o.Parallel > 0 {
+		sem = make(chan struct{}, o.Parallel)
+	}
 	var wg sync.WaitGroup
 	var firstErr error
 	for _, j := range jobs {
@@ -383,10 +428,14 @@ func runAll(o Options, jobs []job) (map[[2]string]core.Result, error) {
 		}
 		j := j
 		wg.Add(1)
-		sem <- struct{}{}
+		if sem != nil {
+			sem <- struct{}{}
+		}
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
+			if sem != nil {
+				defer func() { <-sem }()
+			}
 			var r core.Result
 			var series []engine.EpochSample
 			var err error
@@ -401,15 +450,14 @@ func runAll(o Options, jobs []job) (map[[2]string]core.Result, error) {
 				if firstErr == nil {
 					firstErr = err
 				}
-				resMu.Unlock()
-				return
+			} else {
+				results[[2]string{j.spec.Name, j.workload}] = r
 			}
-			results[[2]string{j.spec.Name, j.workload}] = r
 			resMu.Unlock()
 
 			cbMu.Lock()
 			done++
-			if o.OnSeries != nil && o.Epoch > 0 {
+			if err == nil && o.OnSeries != nil && o.Epoch > 0 {
 				o.OnSeries(SeriesRecord{Workload: j.workload, Policy: j.spec.Name, Series: series})
 			}
 			if o.OnProgress != nil {

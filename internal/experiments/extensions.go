@@ -10,6 +10,7 @@ import (
 	"mellow/internal/nvm"
 	"mellow/internal/policy"
 	"mellow/internal/rng"
+	"mellow/internal/sched"
 	"mellow/internal/stats"
 	"mellow/internal/wear"
 )
@@ -282,7 +283,15 @@ func runExt6(o Options) error {
 	for _, mix := range mixes {
 		row := []string{strings.Join(mix, "+")}
 		for _, s := range specs {
+			// A mix models len(mix) cores against one memory system, so
+			// it holds that many scheduler slots — the weighted analogue
+			// of one slot per single-core simulation.
+			release, err := sched.Default().Acquire(o.ctx(), int64(len(mix)))
+			if err != nil {
+				return err
+			}
 			m, err := core.RunMix(o.Cfg, s, mix)
+			release()
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,289 @@
+package sched
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestAcquireReleaseWeights(t *testing.T) {
+	s := New(4)
+	ctx := context.Background()
+
+	rel3, err := s.Acquire(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel1, err := s.Acquire(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.InUse != 4 || st.Peak != 4 || st.Budget != 4 {
+		t.Fatalf("stats after two grants: %+v", st)
+	}
+
+	// Budget exhausted: a further acquire times out.
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.Acquire(short, 1); err == nil {
+		t.Fatal("acquire beyond the budget succeeded")
+	}
+
+	rel1()
+	rel1() // double release must be a no-op
+	if st := s.Stats(); st.InUse != 3 {
+		t.Fatalf("in use after release = %d, want 3", st.InUse)
+	}
+	rel3()
+	if st := s.Stats(); st.InUse != 0 {
+		t.Fatalf("in use after all releases = %d, want 0", st.InUse)
+	}
+
+	// Sub-1 weights count as 1.
+	rel, err := s.Acquire(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.InUse != 1 {
+		t.Fatalf("in use after weight-0 acquire = %d, want 1", st.InUse)
+	}
+	rel()
+}
+
+// TestFIFOOrder parks three acquirers one at a time and checks grants
+// come back in arrival order.
+func TestFIFOOrder(t *testing.T) {
+	s := New(1)
+	hold, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		before := s.Stats().Waiters
+		go func() {
+			rel, err := s.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			rel()
+		}()
+		waitFor(t, "waiter to park", func() bool { return s.Stats().Waiters > before })
+	}
+
+	hold()
+	for want := 0; want < 3; want++ {
+		select {
+		case got := <-order:
+			if got != want {
+				t.Fatalf("grant %d went to waiter %d", want, got)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d never granted", want)
+		}
+	}
+}
+
+// TestNoBarging: a small acquire arriving behind a parked wide one must
+// queue behind it even though it would fit — that is what keeps a
+// stream of narrow work from starving a wide job forever (and, run the
+// other way, what bounds a small job's wait behind a wide one).
+func TestNoBarging(t *testing.T) {
+	s := New(4)
+	hold, err := s.Acquire(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grants := make(chan string, 2)
+	var wideGranted atomic.Bool
+	go func() {
+		rel, err := s.Acquire(context.Background(), 4) // needs 7 > 4: parks
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		wideGranted.Store(true)
+		grants <- "wide"
+		rel()
+	}()
+	waitFor(t, "wide acquire to park", func() bool { return s.Stats().Waiters == 1 })
+
+	go func() {
+		rel, err := s.Acquire(context.Background(), 1) // would fit, must not barge
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !wideGranted.Load() {
+			t.Error("narrow acquire barged past the parked wide one")
+		}
+		grants <- "narrow"
+		rel()
+	}()
+	waitFor(t, "narrow acquire to park", func() bool { return s.Stats().Waiters == 2 })
+
+	// The narrow acquire fits (3+1 <= 4) yet parked: no barging.
+	if st := s.Stats(); st.InUse != 3 || st.Waiters != 2 {
+		t.Fatalf("before release: %+v, want inUse 3 with both acquires parked", st)
+	}
+
+	// The wide grant takes the whole budget, so the narrow one can only
+	// follow after it releases — the grant order is observable.
+	hold()
+	if first := <-grants; first != "wide" {
+		t.Fatalf("first grant went to %s, want wide", first)
+	}
+	if second := <-grants; second != "narrow" {
+		t.Fatalf("second grant went to %s, want narrow", second)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	s := New(1)
+	hold, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, 1)
+		errc <- err
+	}()
+	waitFor(t, "waiter to park", func() bool { return s.Stats().Waiters == 1 })
+
+	// A second waiter queues behind the one about to be cancelled.
+	granted := make(chan struct{})
+	go func() {
+		rel, err := s.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		close(granted)
+		rel()
+	}()
+	waitFor(t, "second waiter to park", func() bool { return s.Stats().Waiters == 2 })
+
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled acquire returned %v", err)
+	}
+	waitFor(t, "cancelled waiter to leave the queue", func() bool { return s.Stats().Waiters == 1 })
+
+	// Capacity is intact: releasing the holder grants the survivor.
+	hold()
+	select {
+	case <-granted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter behind a cancelled one never granted")
+	}
+	if st := s.Stats(); st.InUse != 0 || st.Waiters != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}
+
+// TestWeightClamp: an acquire wider than the budget degrades to
+// exclusive access instead of deadlocking.
+func TestWeightClamp(t *testing.T) {
+	s := New(2)
+	rel, err := s.Acquire(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.InUse != 2 {
+		t.Fatalf("clamped acquire holds %d, want 2", st.InUse)
+	}
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.Acquire(short, 1); err == nil {
+		t.Fatal("acquire alongside an exclusive grant succeeded")
+	}
+	rel()
+	rel2, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+func TestSetBudgetGrowWakesWaiters(t *testing.T) {
+	s := New(1)
+	hold, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan struct{})
+	go func() {
+		rel, err := s.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		close(granted)
+		rel()
+	}()
+	waitFor(t, "waiter to park", func() bool { return s.Stats().Waiters == 1 })
+
+	s.SetBudget(2)
+	select {
+	case <-granted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("budget grow did not wake the waiter")
+	}
+	hold()
+	if st := s.Stats(); st.Budget != 2 || st.InUse != 0 {
+		t.Fatalf("stats after grow and drain: %+v", st)
+	}
+}
+
+func TestStatsAndWaitHistogram(t *testing.T) {
+	s := New(1)
+	rel, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		rel2, err := s.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Error(err)
+		} else {
+			rel2()
+		}
+		close(done)
+	}()
+	waitFor(t, "waiter to park", func() bool { return s.Stats().Waiters == 1 })
+	rel()
+	<-done
+
+	st := s.Stats()
+	if st.Acquires != 2 {
+		t.Errorf("acquires = %d, want 2", st.Acquires)
+	}
+	if st.Waited != 1 {
+		t.Errorf("waited = %d, want 1", st.Waited)
+	}
+	if h := s.WaitHistogram(); h.Count() != 2 {
+		t.Errorf("wait histogram count = %d, want one sample per grant (2)", h.Count())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"mellow/internal/engine"
 	"mellow/internal/experiments"
 	"mellow/internal/policy"
+	"mellow/internal/sim"
 	"mellow/internal/trace"
 )
 
@@ -61,6 +63,34 @@ type JobRequest struct {
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
 
+// Admission bounds for interval_ns.
+const (
+	// MinIntervalNS is the finest observation period accepted: 1 µs of
+	// simulated time. Below it the engine emits an epoch sample every
+	// few simulated nanoseconds — an effectively unbounded series that
+	// exhausts memory long before the simulation ends.
+	MinIntervalNS = 1_000
+	// MaxIntervalNS is the coarsest period accepted: anything larger
+	// overflows sim.NS's ns × TicksPerNS conversion to ticks.
+	MaxIntervalNS = math.MaxUint64 / sim.TicksPerNS
+)
+
+// validateInterval applies the documented interval_ns bounds (zero
+// means unobserved and is always valid). mellowbench applies the same
+// floor to its -interval flag.
+func validateInterval(ns uint64) error {
+	if ns == 0 {
+		return nil
+	}
+	if ns < MinIntervalNS {
+		return fmt.Errorf("interval_ns %d below the %d ns (1 µs) floor: the epoch series would be unbounded", ns, MinIntervalNS)
+	}
+	if ns > MaxIntervalNS {
+		return fmt.Errorf("interval_ns %d overflows the tick clock (max %d)", ns, uint64(MaxIntervalNS))
+	}
+	return nil
+}
+
 // canonicalJob is the fully resolved, defaults-applied form of a
 // request. Its canonical JSON is hashed into the content address, so
 // two requests that mean the same work share one key.
@@ -94,6 +124,9 @@ func normalize(req JobRequest, base config.Config) (canonicalJob, string, error)
 		c.Config.Run.DetailedInstructions = *req.Detailed
 	}
 	if err := c.Config.Validate(); err != nil {
+		return c, "", err
+	}
+	if err := validateInterval(req.IntervalNS); err != nil {
 		return c, "", err
 	}
 	c.IntervalNS = req.IntervalNS
@@ -149,7 +182,15 @@ func normalize(req JobRequest, base config.Config) (canonicalJob, string, error)
 			return c, "", err
 		}
 	}
+	// Canonical order and no duplicates, for workloads and policies
+	// alike: `{"workload":"x","workloads":["x"]}` means x once, not
+	// twice, and two compare jobs listing the same policies in a
+	// different order are the same work — they must share one content
+	// address and one result-cache entry.
 	sort.Strings(c.Workloads)
+	c.Workloads = dedupeSorted(c.Workloads)
+	sort.Strings(c.Policies)
+	c.Policies = dedupeSorted(c.Policies)
 
 	b, err := json.Marshal(c)
 	if err != nil {
@@ -157,6 +198,18 @@ func normalize(req JobRequest, base config.Config) (canonicalJob, string, error)
 	}
 	sum := sha256.Sum256(b)
 	return c, hex.EncodeToString(sum[:]), nil
+}
+
+// dedupeSorted removes adjacent duplicates from a sorted slice, in
+// place.
+func dedupeSorted(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // Job states.

@@ -6,9 +6,11 @@ import (
 	"encoding/json"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"mellow/internal/core"
 	"mellow/internal/engine"
 	"mellow/internal/experiments"
 	"mellow/internal/policy"
@@ -37,15 +39,18 @@ type jobState struct {
 	progress jobProgress
 }
 
-// jobProgress is a job's live completion state: simulations finished
-// out of the job's total, plus the running simulation's own tracker.
-// Only the executing worker writes; status readers see a monotone
-// non-decreasing fraction through the maxSeen clamp (the tracker handoff
-// between simulations could otherwise read a hair backwards).
+// jobProgress is a job's live completion state: simulations attempted
+// out of the job's total, plus the live trackers of every simulation
+// the job is running in parallel. Workers write concurrently; status
+// readers see a monotone non-decreasing fraction through the maxSeen
+// clamp (tracker handoffs between simulations could otherwise read a
+// hair backwards). Failed and cancelled simulations count as attempted
+// too, so a failed job's fraction accounts for all work the job tried
+// rather than freezing at an arbitrary value.
 type jobProgress struct {
 	totalSims atomic.Uint64
 	doneSims  atomic.Uint64
-	tracker   atomic.Pointer[engine.Tracker]
+	active    engine.TrackerSet
 	last      atomic.Pointer[engine.EpochSample]
 	maxSeen   atomic.Uint64 // float64 bits
 }
@@ -56,20 +61,37 @@ func (p *jobProgress) setTotal(n int) {
 	}
 }
 
-// beginSim installs the next simulation's tracker (nil for unobserved
-// runs, which contribute progress only on completion).
-func (p *jobProgress) beginSim(tr *engine.Tracker) { p.tracker.Store(tr) }
+// beginSim registers a starting simulation's tracker (nil for
+// unobserved runs, which contribute progress only on completion).
+// Several simulations may be live at once — the job matrix runs in
+// parallel under the process-wide scheduler.
+func (p *jobProgress) beginSim(tr *engine.Tracker) { p.active.Add(tr) }
 
-// endSim retires the current simulation: its last epoch sample is kept
-// for the status, the tracker is cleared, and the done count advances.
-func (p *jobProgress) endSim() {
-	if tr := p.tracker.Load(); tr != nil {
+// endSim retires one simulation: its freshest epoch sample is kept for
+// the status, its tracker leaves the active set, and the attempted
+// count advances — on success, failure and cancellation alike.
+func (p *jobProgress) endSim(tr *engine.Tracker) {
+	if tr != nil {
 		if s := tr.Sample(); s != nil {
-			p.last.Store(s)
+			p.keepLast(s)
+		}
+		p.active.Remove(tr)
+	}
+	p.doneSims.Add(1)
+}
+
+// keepLast retains the freshest (greatest end tick) retired sample;
+// parallel simulations retire in any order.
+func (p *jobProgress) keepLast(s *engine.EpochSample) {
+	for {
+		old := p.last.Load()
+		if old != nil && old.End >= s.End {
+			return
+		}
+		if p.last.CompareAndSwap(old, s) {
+			return
 		}
 	}
-	p.tracker.Store(nil)
-	p.doneSims.Add(1)
 }
 
 // set records sweep progress reported by the experiments layer.
@@ -104,26 +126,22 @@ func (p *jobProgress) clamp(f float64) float64 {
 }
 
 // fraction returns the job's completion in [0, 1], monotone across
-// calls.
+// calls: attempted simulations plus the summed fractions of every
+// simulation currently in flight, over the job's total.
 func (p *jobProgress) fraction() float64 {
 	total := p.totalSims.Load()
 	if total == 0 {
 		return p.clamp(0)
 	}
-	f := float64(p.doneSims.Load())
-	if tr := p.tracker.Load(); tr != nil {
-		f += tr.Progress()
-	}
+	f := float64(p.doneSims.Load()) + p.active.SumProgress()
 	return p.clamp(f / float64(total))
 }
 
-// sample returns the freshest epoch sample: the running simulation's,
-// or the last one a finished simulation left behind.
+// sample returns the freshest epoch sample: the furthest-along running
+// simulation's, or the last one a finished simulation left behind.
 func (p *jobProgress) sample() *engine.EpochSample {
-	if tr := p.tracker.Load(); tr != nil {
-		if s := tr.Sample(); s != nil {
-			return s
-		}
+	if s := p.active.Freshest(); s != nil {
+		return s
 	}
 	return p.last.Load()
 }
@@ -189,42 +207,96 @@ func (s *recordSorter) Swap(i, j int) {
 // runJob executes one job's simulations through the memoised harness,
 // so identical sub-simulations across different jobs run once. A
 // positive interval_ns runs them observed: per-epoch series land in the
-// result and the jobState's progress tracker feeds the status API live.
+// result and the jobState's progress trackers feed the status API live.
+//
+// Sim and compare matrices fan out in parallel; the process-wide
+// scheduler (internal/sched) bounds total concurrent simulations across
+// every job, so the fan-out cannot oversubscribe the machine. Each
+// matrix cell writes its result (and series) into a slot fixed by its
+// (workload, policy) loop index, so the payload keeps the exact
+// sequential ordering — equal keys still yield equal bytes no matter
+// which cells finish first.
 func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
 	canon := js.canon
 	out := &JobResult{Key: js.key, Kind: canon.Kind}
 	epoch := sim.NS(canon.IntervalNS)
 	switch canon.Kind {
 	case KindSim, KindCompare:
-		js.progress.setTotal(len(canon.Workloads) * len(canon.Policies))
+		type cell struct {
+			workload string
+			policy   string
+			spec     policy.Spec
+		}
+		cells := make([]cell, 0, len(canon.Workloads)*len(canon.Policies))
 		for _, w := range canon.Workloads {
 			for _, p := range canon.Policies {
 				spec, err := policy.Parse(p)
 				if err != nil {
 					return nil, err
 				}
+				cells = append(cells, cell{workload: w, policy: p, spec: spec})
+			}
+		}
+		js.progress.setTotal(len(cells))
+
+		// The first failure cancels the siblings; every cell still
+		// retires through endSim, so a failed job's progress accounts
+		// for all attempted work instead of freezing mid-matrix.
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		results := make([]core.Result, len(cells))
+		var series []experiments.SeriesRecord
+		if epoch > 0 {
+			series = make([]experiments.SeriesRecord, len(cells))
+		}
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		for i, cl := range cells {
+			i, cl := i, cl
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var err error
 				if epoch > 0 {
 					tr := &engine.Tracker{}
 					js.progress.beginSim(tr)
-					r, series, err := experiments.RunObserved(ctx, canon.Config, spec, w,
+					var r core.Result
+					var s []engine.EpochSample
+					r, s, err = experiments.RunObserved(runCtx, canon.Config, cl.spec, cl.workload,
 						experiments.Observation{Epoch: epoch, Tracker: tr})
-					js.progress.endSim()
-					if err != nil {
-						return nil, err
+					js.progress.endSim(tr)
+					if err == nil {
+						results[i] = r
+						series[i] = experiments.SeriesRecord{
+							Workload: cl.workload, Policy: cl.policy, Series: s}
 					}
-					out.Results = append(out.Results, r)
-					out.Series = append(out.Series,
-						experiments.SeriesRecord{Workload: w, Policy: p, Series: series})
 				} else {
-					r, err := experiments.RunCached(ctx, canon.Config, spec, w)
-					js.progress.endSim()
-					if err != nil {
-						return nil, err
+					var r core.Result
+					r, err = experiments.RunCached(runCtx, canon.Config, cl.spec, cl.workload)
+					js.progress.endSim(nil)
+					if err == nil {
+						results[i] = r
 					}
-					out.Results = append(out.Results, r)
 				}
-			}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel()
+				}
+			}()
 		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		out.Results = results
+		out.Series = series
 	case KindExperiment:
 		e, err := experiments.ByID(canon.Experiment)
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mellow/internal/experiments"
+	"mellow/internal/sched"
 	"mellow/internal/stats"
 )
 
@@ -119,12 +120,23 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers, resultEntrie
 	gauge(w, "mellowd_jobs_running", "Jobs currently executing on the worker pool.", int(m.running.Load()))
 	gauge(w, "mellowd_result_cache_entries", "Finished jobs held by the result cache.", resultEntries)
 
+	ss := sched.Default().Stats()
+	gauge(w, "mellowd_sched_budget", "Process-wide simulation slot budget.", int(ss.Budget))
+	gauge(w, "mellowd_sched_slots_in_use", "Simulation slots currently held.", int(ss.InUse))
+	gauge(w, "mellowd_sched_waiters", "Simulations parked waiting for a scheduler slot.", ss.Waiters)
+	counter(w, "mellowd_sched_acquires_total", "Scheduler slot grants handed out.", ss.Acquires)
+	counter(w, "mellowd_sched_waited_total", "Grants that queued before being granted.", ss.Waited)
+	schedWait := sched.Default().WaitHistogram()
+	histogram(w, "mellowd_sched_wait_seconds",
+		"Time simulations waited for a scheduler slot before running.", &schedWait)
+
 	cs := experiments.CacheSnapshot()
 	counter(w, "mellowd_simcache_hits_total", "Simulation memo-cache hits (incl. singleflight joins).", cs.Hits)
 	counter(w, "mellowd_simcache_misses_total", "Simulations actually executed.", cs.Misses)
 	counter(w, "mellowd_simcache_evictions_total", "Memoised simulations evicted by the cap.", cs.Evictions)
 	gauge(w, "mellowd_simcache_entries", "Memoised simulation results held.", cs.Entries)
-	gauge(w, "mellowd_simcache_inflight", "Simulations currently running (deduplicated).", cs.InFlight)
+	gauge(w, "mellowd_simcache_inflight", "Deduplicated simulations in flight (running or queued for a scheduler slot).", cs.InFlight)
+	gauge(w, "mellowd_sims_running", "Simulations executing right now (holding a scheduler slot).", cs.Running)
 
 	m.mu.Lock()
 	histogram(w, "mellowd_queue_wait_seconds",

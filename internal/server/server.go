@@ -21,12 +21,20 @@ import (
 	"time"
 
 	"mellow/internal/config"
+	"mellow/internal/sched"
 )
 
 // Config sets the service's capacity knobs; zero values take defaults.
 type Config struct {
-	// Workers sizes the simulation pool (default: GOMAXPROCS).
+	// Workers sizes the job worker pool (default: GOMAXPROCS). Workers
+	// bound concurrent *jobs*; concurrent *simulations* are bounded
+	// process-wide by SimBudget, however many jobs fan out at once.
 	Workers int
+	// SimBudget sets the process-wide simulation scheduler's slot
+	// budget (default: GOMAXPROCS). It is the hard cap on in-flight
+	// simulations across all jobs, sweeps and benchmarks in this
+	// process.
+	SimBudget int
 	// QueueDepth bounds the admission queue; submissions beyond it are
 	// shed with 429 + Retry-After (default: 4 × workers).
 	QueueDepth int
@@ -48,6 +56,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.Workers
+	}
+	if c.SimBudget <= 0 {
+		c.SimBudget = runtime.GOMAXPROCS(0)
 	}
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 15 * time.Minute
@@ -90,9 +101,13 @@ type Server struct {
 	exec func(ctx context.Context, js *jobState) (*JobResult, error)
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. The process-wide
+// simulation scheduler is resized to cfg.SimBudget: every simulation
+// any job runs must hold a scheduler slot, so W concurrent jobs can
+// never oversubscribe the machine W-fold.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	sched.Default().SetBudget(int64(cfg.SimBudget))
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
@@ -331,11 +346,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	st := struct {
-		Status  string `json:"status"`
-		Jobs    int    `json:"jobs"`
-		Queue   int    `json:"queue_depth"`
-		Workers int    `json:"workers"`
-	}{"ok", len(s.jobs), len(s.queue), s.cfg.Workers}
+		Status    string `json:"status"`
+		Jobs      int    `json:"jobs"`
+		Queue     int    `json:"queue_depth"`
+		Workers   int    `json:"workers"`
+		SimBudget int    `json:"sim_budget"`
+	}{"ok", len(s.jobs), len(s.queue), s.cfg.Workers, s.cfg.SimBudget}
 	if s.draining {
 		st.Status = "draining"
 	}

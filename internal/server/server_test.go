@@ -373,12 +373,13 @@ func TestHardStopCancelsJobs(t *testing.T) {
 
 // TestDeterministicResults is the byte-identity acceptance check: two
 // fresh servers given the same submission serve byte-identical result
-// payloads for the same key.
+// payloads — series included — for the same key, even though the 2×2
+// matrix fans out in parallel and its cells finish in arbitrary order.
 func TestDeterministicResults(t *testing.T) {
-	body := `{"kind":"compare","workload":"gups","policies":["Norm","BE-Mellow+SC"],"seed":57}`
+	body := `{"kind":"compare","workloads":["gups","stream"],"policies":["Norm","BE-Mellow+SC"],"interval_ns":2000,"seed":57}`
 	fetch := func() (string, []byte) {
 		experiments.ResetCache() // force a real re-simulation
-		_, ts := newTestServer(t, Config{Workers: 2, BaseConfig: tinyBase(57)})
+		_, ts := newTestServer(t, Config{Workers: 2, SimBudget: 4, BaseConfig: tinyBase(57)})
 		st, code := postJob(t, ts, body)
 		if code != http.StatusAccepted {
 			t.Fatalf("code = %d", code)
@@ -394,6 +395,14 @@ func TestDeterministicResults(t *testing.T) {
 		b, err := io.ReadAll(resp.Body)
 		if err != nil {
 			t.Fatal(err)
+		}
+		var jr JobResult
+		if err := json.Unmarshal(b, &jr); err != nil {
+			t.Fatal(err)
+		}
+		if len(jr.Results) != 4 || len(jr.Series) != 4 {
+			t.Fatalf("matrix payload has %d results, %d series, want 4 and 4",
+				len(jr.Results), len(jr.Series))
 		}
 		return st.Key, b
 	}
