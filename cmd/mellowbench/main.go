@@ -11,6 +11,7 @@
 //	mellowbench -exp all -parallel 4    # at most 4 concurrent simulations
 //	mellowbench -exp fig11 -progress    # live sweep status on stderr
 //	mellowbench -exp fig11 -interval 500us   # per-epoch time series as JSON
+//	mellowbench -exp fig11 -metrics     # process metrics snapshot after the run
 //	mellowbench -list
 //
 // -interval samples every simulation at the given period of simulated
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"mellow"
+	"mellow/internal/metrics"
 	"mellow/internal/sched"
 	"mellow/internal/server"
 )
@@ -45,6 +47,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0: no limit)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "process-wide cap on concurrent simulations")
 		jsonOut   = flag.Bool("json", false, "emit reports as JSON (mellowd's experiment encoding)")
+		withMet   = flag.Bool("metrics", false, "append a process metrics snapshot (scheduler, memo cache, runtime) as JSON")
 		interval  = flag.Duration("interval", 0, "sample an epoch series at this period of simulated time (e.g. 500us, min 1us; 0: off)")
 		progress  = flag.Bool("progress", false, "report sweep progress on stderr")
 		list      = flag.Bool("list", false, "list experiments and exit")
@@ -144,10 +147,34 @@ func main() {
 			fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	// -metrics snapshots the same process-scope collectors mellowd
+	// serves at /metrics — one taxonomy across both binaries. The
+	// registry is built only now, after the sweeps, so the snapshot
+	// reflects the whole run; without the flag nothing is registered
+	// and output stays byte-identical to earlier releases.
+	var snap *metrics.Snapshot
+	if *withMet {
+		reg := metrics.NewRegistry()
+		server.RegisterProcessCollectors(reg)
+		s := reg.Snapshot()
+		snap = &s
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(reports); err != nil {
+		var payload any = reports
+		if snap != nil {
+			payload = struct {
+				Reports []server.ExperimentReport `json:"reports"`
+				Metrics *metrics.Snapshot         `json:"metrics"`
+			}{Reports: reports, Metrics: snap}
+		}
+		if err := enc.Encode(payload); err != nil {
+			fmt.Fprintln(os.Stderr, "mellowbench:", err)
+			os.Exit(1)
+		}
+	} else if snap != nil {
+		if err := enc.Encode(snap); err != nil {
 			fmt.Fprintln(os.Stderr, "mellowbench:", err)
 			os.Exit(1)
 		}

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"mellow/internal/config"
+	"mellow/internal/metrics"
 	"mellow/internal/rng"
 )
 
@@ -263,4 +264,24 @@ func (h *Hierarchy) ResetStats() {
 	h.L1.ResetStats()
 	h.L2.ResetStats()
 	h.L3.ResetStats()
+}
+
+// CollectMetrics publishes the hierarchy's counters into a per-run
+// metrics registry. Read-only: it walks no sets and touches no
+// recency state, so collecting can never perturb the simulation.
+func (h *Hierarchy) CollectMetrics(g *metrics.Gatherer) {
+	g.Counter("sim_cache_demand_reads_total", "Demand reads entering the hierarchy since the last stats reset.", h.demandReads)
+	g.Counter("sim_cache_demand_writes_total", "Demand writes entering the hierarchy since the last stats reset.", h.demandWrites)
+	g.Counter("sim_cache_llc_misses_total", "LLC misses (memory fetches required).", h.llcMisses)
+	g.Counter("sim_cache_mem_fetches_total", "Line fetches issued to memory.", h.memFetches)
+	g.Counter("sim_cache_mem_writebacks_total", "Dirty lines pushed from the LLC to memory.", h.memWritebacks)
+	g.Counter("sim_cache_eager_issued_total", "Eager write-backs issued by the predictor.", h.eagerIssued)
+	g.Counter("sim_cache_eager_wasted_total", "Eager write-backs invalidated by a later dirtying (wasted).", h.wastedEager)
+	for _, lv := range []struct {
+		name string
+		c    *Cache
+	}{{"l1", h.L1}, {"l2", h.L2}, {"l3", h.L3}} {
+		g.CounterL("sim_cache_hits_total", "Cache hits by level.", "level", lv.name, lv.c.Hits())
+		g.CounterL("sim_cache_misses_total", "Cache misses by level.", "level", lv.name, lv.c.Misses())
+	}
 }

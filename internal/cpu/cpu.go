@@ -13,6 +13,7 @@ import (
 	"mellow/internal/cache"
 	"mellow/internal/config"
 	"mellow/internal/mem"
+	"mellow/internal/metrics"
 	"mellow/internal/sim"
 	"mellow/internal/trace"
 )
@@ -323,4 +324,14 @@ func (c *Core) IPC() float64 {
 		return 0
 	}
 	return float64(c.instrs-c.baseInstrs) / cycles
+}
+
+// CollectMetrics publishes the core's cumulative counters into a
+// per-run metrics registry. Read-only: it is a snapshot-time collector
+// and must never perturb the pipeline model.
+func (c *Core) CollectMetrics(g *metrics.Gatherer) {
+	g.Counter("sim_cpu_instructions_total", "Instructions dispatched since construction.", c.instrs)
+	g.Gauge("sim_cpu_cycles", "Core cycles consumed since construction.", c.cycles)
+	g.Counter("sim_cpu_instructions_measured_total", "Instructions retired inside the measured window.", c.MeasuredInstructions())
+	g.Gauge("sim_cpu_cycles_measured", "Core cycles consumed inside the measured window.", c.MeasuredCycles())
 }

@@ -23,6 +23,7 @@ import (
 	"mellow/internal/config"
 	"mellow/internal/cpu"
 	"mellow/internal/mem"
+	"mellow/internal/metrics"
 	"mellow/internal/sim"
 )
 
@@ -152,6 +153,12 @@ type Options struct {
 	// OnEpoch, when set, is called synchronously with each closed
 	// sample. It must not mutate simulation state.
 	OnEpoch func(EpochSample)
+	// Metrics, when set, receives the run's component collectors: cpu,
+	// cache, mem and wear publish their counters into this per-run
+	// registry, and a snapshot taken after Run returns is deterministic
+	// — collectors are read-only and only evaluated at snapshot time,
+	// so attaching a registry never perturbs event order.
+	Metrics *metrics.Registry
 }
 
 // observing reports whether an epoch probe is wanted at all.
@@ -308,6 +315,14 @@ func (e *Engine) progressAt(instrs uint64) float64 {
 // produced on the side. Cancellation aborts at the next checkpoint with
 // ctx's error.
 func (e *Engine) Run(ctx context.Context) (Outcome, error) {
+	if reg := e.opts.Metrics; reg != nil {
+		// The collectors are registered up front but evaluated only when
+		// the registry is snapshotted — typically after Run returns, when
+		// the system is quiescent, so the snapshot is deterministic.
+		reg.RegisterCollector(e.core.CollectMetrics)
+		reg.RegisterCollector(e.hier.CollectMetrics)
+		reg.RegisterCollector(e.ctl.CollectMetrics)
+	}
 	// context.Background and friends have a nil Done channel; skip the
 	// per-checkpoint poll entirely for them.
 	var cancelled func() bool

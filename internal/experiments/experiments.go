@@ -15,6 +15,7 @@ import (
 	"mellow/internal/config"
 	"mellow/internal/core"
 	"mellow/internal/engine"
+	"mellow/internal/metrics"
 	"mellow/internal/policy"
 	"mellow/internal/sched"
 	"mellow/internal/sim"
@@ -127,15 +128,16 @@ type runKey struct {
 	workload   string
 	epoch      sim.Tick // 0 for unobserved runs
 	bankDamage bool
+	metrics    bool // per-run metrics snapshot stored with the value
 }
 
-func keyFor(cfg config.Config, spec policy.Spec, workload string, epoch sim.Tick, bankDamage bool) runKey {
+func keyFor(cfg config.Config, spec policy.Spec, workload string, epoch sim.Tick, bankDamage, metrics bool) runKey {
 	b, err := cfg.CanonicalJSON()
 	if err != nil {
 		panic(fmt.Sprintf("experiments: config not serialisable: %v", err))
 	}
 	return runKey{cfg: string(b), policy: spec.Name, workload: workload,
-		epoch: epoch, bankDamage: bankDamage}
+		epoch: epoch, bankDamage: bankDamage, metrics: metrics}
 }
 
 // DefaultCacheCap bounds the memoisation cache so a long-lived process
@@ -158,10 +160,12 @@ type CacheStats struct {
 }
 
 // cached is one memoised simulation: the result, plus the epoch series
-// for observed runs (nil otherwise). Entries are immutable once stored.
+// for observed runs and the per-run metrics snapshot for instrumented
+// runs (nil otherwise). Entries are immutable once stored.
 type cached struct {
 	res    core.Result
 	series []engine.EpochSample
+	met    *metrics.Snapshot
 }
 
 // flight is one in-progress simulation that concurrent callers join.
@@ -321,12 +325,27 @@ func SetCacheCap(n int) {
 // occupancy of the memoisation cache.
 func CacheSnapshot() CacheStats { return memo.stats() }
 
+// CacheCollector returns a read-only metrics collector publishing the
+// memoisation cache's counters and occupancy under the given prefix —
+// the registry face of CacheSnapshot.
+func CacheCollector(prefix string) metrics.Collector {
+	return func(g *metrics.Gatherer) {
+		cs := memo.stats()
+		g.Counter(prefix+"simcache_hits_total", "Simulation memo-cache hits (incl. singleflight joins).", cs.Hits)
+		g.Counter(prefix+"simcache_misses_total", "Simulations actually executed.", cs.Misses)
+		g.Counter(prefix+"simcache_evictions_total", "Memoised simulations evicted by the cap.", cs.Evictions)
+		g.Gauge(prefix+"simcache_entries", "Memoised simulation results held.", float64(cs.Entries))
+		g.Gauge(prefix+"simcache_inflight", "Deduplicated simulations in flight (running or queued for a scheduler slot).", float64(cs.InFlight))
+		g.Gauge(prefix+"sims_running", "Simulations executing right now (holding a scheduler slot).", float64(cs.Running))
+	}
+}
+
 // RunCached is the memoised, deduplicated simulation entry point: an
 // identical (config, policy, workload) triple simulates at most once
 // concurrently and its result is reused across callers — the primitive
 // the mellowd service builds on.
 func RunCached(ctx context.Context, cfg config.Config, spec policy.Spec, workload string) (core.Result, error) {
-	c, err := memo.do(ctx, keyFor(cfg, spec, workload, 0, false), func() (cached, error) {
+	c, err := memo.do(ctx, keyFor(cfg, spec, workload, 0, false, false), func() (cached, error) {
 		r, err := core.RunContext(ctx, cfg, spec, workload)
 		return cached{res: r}, err
 	})
@@ -343,6 +362,10 @@ type Observation struct {
 	// A memo hit or a joined in-flight run only reports completion (the
 	// simulating caller's tracker sees the intermediate samples).
 	Tracker *engine.Tracker
+	// Metrics, when set, attaches a per-run metrics registry: cpu,
+	// cache, mem and wear publish their counters as collectors and the
+	// run's deterministic snapshot is memoised alongside the result.
+	Metrics bool
 }
 
 func (ob Observation) epoch() sim.Tick {
@@ -356,25 +379,47 @@ func (ob Observation) epoch() sim.Tick {
 // carries the deterministic epoch series, so equal keys still yield
 // equal bytes. The returned series is shared and must not be modified.
 func RunObserved(ctx context.Context, cfg config.Config, spec policy.Spec, workload string, ob Observation) (core.Result, []engine.EpochSample, error) {
-	key := keyFor(cfg, spec, workload, ob.epoch(), ob.BankDamage)
+	ob.Epoch = ob.epoch()
+	r, series, _, err := RunInstrumented(ctx, cfg, spec, workload, ob)
+	return r, series, err
+}
+
+// RunInstrumented is the full memoised entry point: epoch observation
+// when ob.Epoch > 0, a per-run metrics snapshot when ob.Metrics, both
+// stored with the memoised value (snapshots are deterministic, so equal
+// keys still yield equal bytes). The returned series and snapshot are
+// shared and must not be modified.
+func RunInstrumented(ctx context.Context, cfg config.Config, spec policy.Spec, workload string, ob Observation) (core.Result, []engine.EpochSample, *metrics.Snapshot, error) {
+	key := keyFor(cfg, spec, workload, ob.Epoch, ob.BankDamage, ob.Metrics)
 	c, err := memo.do(ctx, key, func() (cached, error) {
-		r, series, err := core.RunObserved(ctx, cfg, spec, workload, engine.Options{
-			Epoch:      ob.epoch(),
-			Collect:    true,
+		opts := engine.Options{
+			Epoch:      ob.Epoch,
+			Collect:    ob.Epoch > 0,
 			BankDamage: ob.BankDamage,
 			Tracker:    ob.Tracker,
-		})
-		return cached{res: r, series: series}, err
+		}
+		var reg *metrics.Registry
+		if ob.Metrics {
+			reg = metrics.NewRegistry()
+			opts.Metrics = reg
+		}
+		r, series, err := core.RunObserved(ctx, cfg, spec, workload, opts)
+		ch := cached{res: r, series: series}
+		if err == nil && reg != nil {
+			snap := reg.Snapshot()
+			ch.met = &snap
+		}
+		return ch, err
 	})
 	if err != nil {
-		return core.Result{}, nil, err
+		return core.Result{}, nil, nil, err
 	}
 	if ob.Tracker != nil {
 		// Covers the memo-hit and joined-flight paths; a no-op when this
 		// caller ran the simulation itself.
 		ob.Tracker.SetProgress(1)
 	}
-	return c.res, c.series, nil
+	return c.res, c.series, c.met, nil
 }
 
 // SeriesRecord labels one simulation's epoch series for export.

@@ -2,9 +2,11 @@ package mem
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 
 	"mellow/internal/energy"
+	"mellow/internal/metrics"
 	"mellow/internal/nvm"
 	"mellow/internal/policy"
 	"mellow/internal/sim"
@@ -237,6 +239,54 @@ func (p ProbeCounters) Delta(prev ProbeCounters) ProbeCounters {
 	d.WritesFast -= prev.WritesFast
 	d.WritesSlow -= prev.WritesSlow
 	return d
+}
+
+// CollectMetrics publishes the controller's counters, queue occupancy,
+// read-latency distribution and per-bank wear (via the wear meters)
+// into a per-run metrics registry. Read-only: plain field reads plus
+// one pass over the banks, exactly like ProbeCounters — collecting can
+// never perturb event order.
+func (c *Controller) CollectMetrics(g *metrics.Gatherer) {
+	g.Counter("sim_mem_reads_total", "Reads serviced by banks.", c.counts.Reads)
+	g.Counter("sim_mem_row_hits_total", "Row-buffer hits.", c.counts.RowHits)
+	g.Counter("sim_mem_row_misses_total", "Row-buffer misses.", c.counts.RowMisses)
+	g.Counter("sim_mem_forwarded_total", "Reads served from queued write data.", c.counts.Forwarded)
+	g.Counter("sim_mem_write_queued_total", "Write-backs accepted into the write queue.", c.counts.WriteQueued)
+	g.Counter("sim_mem_eager_queued_total", "Eager write-backs accepted.", c.counts.EagerQueued)
+	g.Counter("sim_mem_coalesced_total", "Write-backs merged into an existing queue entry.", c.counts.Coalesced)
+	g.Counter("sim_mem_writes_done_total", "Demand writes completed.", c.counts.WritesDone)
+	g.Counter("sim_mem_eager_done_total", "Eager writes completed.", c.counts.EagerDone)
+	g.Counter("sim_mem_cancellations_total", "Write attempts aborted by write cancellation.", c.counts.Cancellations)
+	g.Counter("sim_mem_pauses_total", "Write pulses suspended by reads (write pausing).", c.counts.Pauses)
+	g.Counter("sim_mem_drains_total", "Write drain-mode entries.", c.counts.Drains)
+
+	var modes [4]uint64
+	var cancelled [4]uint64
+	for b := range c.banks {
+		m := c.meters[b]
+		for i := range modes {
+			modes[i] += m.Writes(nvm.WriteMode(i))
+			cancelled[i] += m.Cancelled(nvm.WriteMode(i))
+		}
+	}
+	for i := range modes {
+		mode := fmt.Sprintf("%dx", 1<<uint(i))
+		g.CounterL("sim_mem_writes_by_mode_total", "Completed writes by pulse slowdown.", "mode", mode, modes[i])
+		g.CounterL("sim_mem_cancelled_by_mode_total", "Aborted write attempts by pulse slowdown.", "mode", mode, cancelled[i])
+	}
+
+	g.GaugeL("sim_mem_queue_depth", "Controller queue occupancy.", "queue", "eager", float64(len(c.eagerQ)))
+	g.GaugeL("sim_mem_queue_depth", "Controller queue occupancy.", "queue", "read", float64(len(c.readQ)))
+	g.GaugeL("sim_mem_queue_depth", "Controller queue occupancy.", "queue", "write", float64(len(c.writeQ)))
+	draining := 0.0
+	if c.draining {
+		draining = 1
+	}
+	g.Gauge("sim_mem_draining", "Whether the controller is in write-drain mode (0/1).", draining)
+	g.Histogram("sim_mem_read_latency_seconds",
+		"Bank-serviced read latency (arrival to data return).", 1e-9, c.readLat)
+
+	wear.CollectMeters(g, c.meters)
 }
 
 // QueueDepths reports current queue occupancy (tests, debugging).

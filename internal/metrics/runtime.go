@@ -1,0 +1,23 @@
+package metrics
+
+import "runtime"
+
+// GoRuntime returns a collector publishing Go runtime basics under the
+// given name prefix (goroutines, heap occupancy, GC cycles). It belongs
+// on process-scope registries only: runtime state is wall-clock-ish and
+// has no place in a deterministic per-run snapshot.
+func GoRuntime(prefix string) Collector {
+	return func(g *Gatherer) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		g.Gauge(prefix+"go_goroutines", "Goroutines currently live in the process.",
+			float64(runtime.NumGoroutine()))
+		g.Gauge(prefix+"go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+			float64(ms.HeapAlloc))
+		g.Gauge(prefix+"go_sys_bytes", "Total bytes of memory obtained from the OS.",
+			float64(ms.Sys))
+		g.Counter(prefix+"go_gc_cycles_total", "Completed GC cycles.", uint64(ms.NumGC))
+		g.Counter(prefix+"go_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+			ms.TotalAlloc)
+	}
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+
+	"mellow/internal/stats"
+)
+
+// Snapshot is one registry's frozen, deterministic view: families
+// sorted by name, cells sorted by label value. It is both the JSON
+// codec surface (results, mellowbench -metrics) and the input to the
+// Prometheus exposition writer — one materialisation, two renderings.
+type Snapshot struct {
+	Families []Family `json:"families"`
+}
+
+// Family is one metric family in a snapshot.
+type Family struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Kind  Kind   `json:"kind"`
+	Label string `json:"label,omitempty"`
+	// Scale multiplies histogram values at render time (recorded
+	// microseconds with Scale 1e-6 expose as seconds).
+	Scale float64 `json:"scale,omitempty"`
+	// Raw marks families whose cell labels are pre-rendered
+	// `k="v",k2="v2"` strings (build info).
+	Raw   bool   `json:"raw,omitempty"`
+	Cells []Cell `json:"cells,omitempty"`
+}
+
+// Cell is one sample of a family: an optional label value plus either
+// a scalar value (counter, gauge) or a distribution (histogram).
+type Cell struct {
+	Label string           `json:"label,omitempty"`
+	Value float64          `json:"value,omitempty"`
+	Hist  *stats.Histogram `json:"histogram,omitempty"`
+}
+
+// Names returns "name kind" lines in snapshot order — the golden
+// exposition name set CI pins, and the source for the README table.
+func (s Snapshot) Names() []string {
+	out := make([]string, len(s.Families))
+	for i, f := range s.Families {
+		out[i] = f.Name + " " + string(f.Kind)
+	}
+	return out
+}
+
+// Get finds a family by name.
+func (s Snapshot) Get(name string) (Family, bool) {
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// Value returns the scalar of an unlabelled counter or gauge family,
+// or 0 when absent — the convenience tests reach for.
+func (s Snapshot) Value(name string) float64 {
+	f, ok := s.Get(name)
+	if !ok || len(f.Cells) == 0 {
+		return 0
+	}
+	return f.Cells[0].Value
+}
+
+// escapeLabel escapes a label value for the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a value the way the old hand renderer did (%g).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. Families with no cells still emit their HELP and TYPE lines,
+// so the name set is complete and stable from the first scrape. The
+// snapshot is immutable: no lock is held while writing, however slow w
+// is.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range s.Families {
+		if f.Help != "" {
+			bw.WriteString("# HELP " + f.Name + " " + f.Help + "\n")
+		}
+		bw.WriteString("# TYPE " + f.Name + " " + string(f.Kind) + "\n")
+		for _, c := range f.Cells {
+			if f.Kind == KindHistogram && c.Hist != nil {
+				writeHistogram(bw, f, c)
+				continue
+			}
+			bw.WriteString(f.Name)
+			writeLabels(bw, f, c, "")
+			bw.WriteByte(' ')
+			if f.Kind == KindCounter {
+				bw.WriteString(strconv.FormatUint(uint64(c.Value), 10))
+			} else {
+				bw.WriteString(formatFloat(c.Value))
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeLabels renders a cell's label set, with an optional extra
+// `le="..."` pair for histogram bucket lines.
+func writeLabels(bw *bufio.Writer, f Family, c Cell, le string) {
+	var parts []string
+	switch {
+	case f.Raw && c.Label != "":
+		parts = append(parts, c.Label) // pre-rendered k="v" list
+	case f.Label != "":
+		parts = append(parts, f.Label+`="`+escapeLabel(c.Label)+`"`)
+	}
+	if le != "" {
+		parts = append(parts, `le="`+le+`"`)
+	}
+	if len(parts) == 0 {
+		return
+	}
+	bw.WriteString("{" + strings.Join(parts, ",") + "}")
+}
+
+// writeHistogram renders one histogram cell: cumulative buckets in
+// scaled units, the +Inf bucket, then _sum and _count.
+func writeHistogram(bw *bufio.Writer, f Family, c Cell) {
+	scale := f.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	var cum uint64
+	for _, b := range c.Hist.Buckets() {
+		cum += b.Count
+		bw.WriteString(f.Name + "_bucket")
+		writeLabels(bw, f, c, formatFloat(float64(b.Upper)*scale))
+		bw.WriteString(" " + strconv.FormatUint(cum, 10) + "\n")
+	}
+	bw.WriteString(f.Name + "_bucket")
+	writeLabels(bw, f, c, "+Inf")
+	bw.WriteString(" " + strconv.FormatUint(c.Hist.Count(), 10) + "\n")
+
+	bw.WriteString(f.Name + "_sum")
+	writeLabels(bw, f, c, "")
+	bw.WriteString(" " + formatFloat(float64(c.Hist.Sum())*scale) + "\n")
+
+	bw.WriteString(f.Name + "_count")
+	writeLabels(bw, f, c, "")
+	bw.WriteString(" " + strconv.FormatUint(c.Hist.Count(), 10) + "\n")
+}

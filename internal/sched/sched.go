@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"mellow/internal/metrics"
 	"mellow/internal/stats"
 )
 
@@ -218,4 +219,21 @@ func (s *Scheduler) WaitHistogram() stats.Histogram {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.waitHist
+}
+
+// Collector returns a read-only metrics collector publishing the
+// scheduler's occupancy, grant counters and wait distribution under the
+// given name prefix. It takes the scheduler mutex only long enough to
+// snapshot — never while the caller renders.
+func (s *Scheduler) Collector(prefix string) metrics.Collector {
+	return func(g *metrics.Gatherer) {
+		st := s.Stats()
+		g.Gauge(prefix+"sched_budget", "Process-wide simulation slot budget.", float64(st.Budget))
+		g.Gauge(prefix+"sched_slots_in_use", "Simulation slots currently held.", float64(st.InUse))
+		g.Gauge(prefix+"sched_waiters", "Simulations parked waiting for a scheduler slot.", float64(st.Waiters))
+		g.Counter(prefix+"sched_acquires_total", "Scheduler slot grants handed out.", st.Acquires)
+		g.Counter(prefix+"sched_waited_total", "Grants that queued before being granted.", st.Waited)
+		g.Histogram(prefix+"sched_wait_seconds",
+			"Time simulations waited for a scheduler slot before running.", 1e-6, s.WaitHistogram())
+	}
 }

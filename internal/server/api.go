@@ -13,6 +13,7 @@ import (
 	"mellow/internal/core"
 	"mellow/internal/engine"
 	"mellow/internal/experiments"
+	"mellow/internal/metrics"
 	"mellow/internal/policy"
 	"mellow/internal/sim"
 	"mellow/internal/trace"
@@ -58,6 +59,12 @@ type JobRequest struct {
 	// enters the cache key — an observed result carries more bytes than
 	// an unobserved one for the same work.
 	IntervalNS uint64 `json:"interval_ns,omitempty"`
+	// Metrics, for sim and compare jobs, runs each simulation with a
+	// per-run metrics registry and embeds the final snapshots in the
+	// result. Snapshots are deterministic and the flag enters the cache
+	// key, so equal keys still yield equal bytes. Experiment jobs ignore
+	// it: their artifact is the rendered report.
+	Metrics bool `json:"metrics,omitempty"`
 	// TimeoutSeconds caps this job's execution (bounded by the server's
 	// per-job timeout). It does not enter the job's cache key.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
@@ -101,6 +108,7 @@ type canonicalJob struct {
 	Policies   []string      `json:"policies,omitempty"`
 	Experiment string        `json:"experiment,omitempty"`
 	IntervalNS uint64        `json:"interval_ns,omitempty"`
+	Metrics    bool          `json:"metrics,omitempty"`
 }
 
 // normalize resolves a request against the base configuration,
@@ -130,6 +138,9 @@ func normalize(req JobRequest, base config.Config) (canonicalJob, string, error)
 		return c, "", err
 	}
 	c.IntervalNS = req.IntervalNS
+	if c.Kind != KindExperiment {
+		c.Metrics = req.Metrics
+	}
 
 	switch c.Kind {
 	case KindSim:
@@ -258,6 +269,11 @@ type JobResult struct {
 	// order as Results, for jobs submitted with interval_ns. The series
 	// is deterministic, so result bytes remain equal for equal keys.
 	Series []experiments.SeriesRecord `json:"series,omitempty"`
+	// Metrics holds each simulation's final per-run registry snapshot,
+	// in the same order as Results, for jobs submitted with metrics.
+	// Snapshots are deterministic, so result bytes remain equal for
+	// equal keys.
+	Metrics []*metrics.Snapshot `json:"metrics,omitempty"`
 	// Report holds an experiment job's rendered artifact.
 	Report *ExperimentReport `json:"report,omitempty"`
 }

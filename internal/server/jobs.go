@@ -13,6 +13,7 @@ import (
 	"mellow/internal/core"
 	"mellow/internal/engine"
 	"mellow/internal/experiments"
+	"mellow/internal/metrics"
 	"mellow/internal/policy"
 	"mellow/internal/sim"
 )
@@ -249,6 +250,10 @@ func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
 		if epoch > 0 {
 			series = make([]experiments.SeriesRecord, len(cells))
 		}
+		var snaps []*metrics.Snapshot
+		if canon.Metrics {
+			snaps = make([]*metrics.Snapshot, len(cells))
+		}
 		var (
 			wg       sync.WaitGroup
 			mu       sync.Mutex
@@ -260,18 +265,27 @@ func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
 			go func() {
 				defer wg.Done()
 				var err error
-				if epoch > 0 {
-					tr := &engine.Tracker{}
+				if epoch > 0 || canon.Metrics {
+					var tr *engine.Tracker
+					if epoch > 0 {
+						tr = &engine.Tracker{}
+					}
 					js.progress.beginSim(tr)
 					var r core.Result
 					var s []engine.EpochSample
-					r, s, err = experiments.RunObserved(runCtx, canon.Config, cl.spec, cl.workload,
-						experiments.Observation{Epoch: epoch, Tracker: tr})
+					var m *metrics.Snapshot
+					r, s, m, err = experiments.RunInstrumented(runCtx, canon.Config, cl.spec, cl.workload,
+						experiments.Observation{Epoch: epoch, Tracker: tr, Metrics: canon.Metrics})
 					js.progress.endSim(tr)
 					if err == nil {
 						results[i] = r
-						series[i] = experiments.SeriesRecord{
-							Workload: cl.workload, Policy: cl.policy, Series: s}
+						if epoch > 0 {
+							series[i] = experiments.SeriesRecord{
+								Workload: cl.workload, Policy: cl.policy, Series: s}
+						}
+						if canon.Metrics {
+							snaps[i] = m
+						}
 					}
 				} else {
 					var r core.Result
@@ -297,6 +311,7 @@ func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
 		}
 		out.Results = results
 		out.Series = series
+		out.Metrics = snaps
 	case KindExperiment:
 		e, err := experiments.ByID(canon.Experiment)
 		if err != nil {

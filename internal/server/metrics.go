@@ -5,57 +5,110 @@ import (
 	"io"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"mellow/internal/experiments"
+	"mellow/internal/metrics"
 	"mellow/internal/sched"
-	"mellow/internal/stats"
 )
 
-// metrics aggregates service counters and per-kind latency
-// distributions, rendered in Prometheus text exposition format.
-type metrics struct {
-	accepted  atomic.Uint64 // jobs admitted to the queue
-	completed atomic.Uint64
-	failed    atomic.Uint64
-	shed      atomic.Uint64 // rejected with 429: queue full
-	deduped   atomic.Uint64 // submissions joined to an existing job
-	resultHit atomic.Uint64 // submissions answered from the result cache
-	running   atomic.Int64  // jobs currently executing
+// telemetry is the service's face of the process metrics registry: the
+// handles mellowd's hot paths record through, plus the snapshot-time
+// collectors (scheduler, memo cache, queue occupancy, build identity,
+// Go runtime). The old hand-rendered exposition, its per-kind latency
+// map, and the mutex held across response writing are all gone — every
+// scrape is a registry snapshot rendered by the shared walker.
+type telemetry struct {
+	reg *metrics.Registry
 
-	mu        sync.Mutex
-	latency   map[string]*stats.Histogram // by job kind, in microseconds
-	queueWait stats.Histogram             // admission → worker pickup, in microseconds
+	accepted  *metrics.Counter // jobs admitted to the queue
+	completed *metrics.Counter
+	failed    *metrics.Counter
+	shed      *metrics.Counter // rejected with 429: queue full
+	deduped   *metrics.Counter // submissions joined to an existing job
+	resultHit *metrics.Counter // submissions answered from the result cache
+	running   *metrics.Gauge   // jobs currently executing
+
+	queueWait *metrics.Histogram    // admission → worker pickup, microseconds
+	latency   *metrics.HistogramVec // job wall time by kind, microseconds
 }
 
-func newMetrics() *metrics {
-	return &metrics{latency: map[string]*stats.Histogram{}}
+// queueInfo reports the server's point-in-time queue occupancy for the
+// snapshot-time gauges.
+type queueInfo struct {
+	depth, capacity, workers, results int
 }
 
-// observe records one finished job's wall time.
-func (m *metrics) observe(kind string, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h := m.latency[kind]
-	if h == nil {
-		h = &stats.Histogram{}
-		m.latency[kind] = h
+// newTelemetry builds the process registry. queue is polled at snapshot
+// time (under the server mutex, briefly); it must be safe to call from
+// any goroutine.
+func newTelemetry(queue func() queueInfo) *telemetry {
+	reg := metrics.NewRegistry()
+	t := &telemetry{
+		reg:       reg,
+		accepted:  reg.Counter("mellowd_jobs_accepted_total", "Jobs admitted to the work queue."),
+		completed: reg.Counter("mellowd_jobs_completed_total", "Jobs finished successfully."),
+		failed:    reg.Counter("mellowd_jobs_failed_total", "Jobs finished with an error."),
+		shed:      reg.Counter("mellowd_jobs_shed_total", "Submissions rejected with 429: queue full."),
+		deduped:   reg.Counter("mellowd_jobs_deduped_total", "Submissions joined to an identical active job."),
+		resultHit: reg.Counter("mellowd_result_cache_hits_total", "Submissions answered from the content-addressed result cache."),
+		running:   reg.Gauge("mellowd_jobs_running", "Jobs currently executing on the worker pool."),
+		queueWait: reg.Histogram("mellowd_queue_wait_seconds",
+			"Time jobs spent in the admission queue before a worker picked them up.", 1e-6),
+		latency: reg.HistogramVec("mellowd_job_duration_seconds",
+			"Wall time of finished jobs by kind.", "kind", 1e-6),
 	}
-	h.Add(uint64(d.Microseconds()))
+	reg.GaugeFunc("mellowd_queue_depth", "Jobs waiting in the admission queue.",
+		func() float64 { return float64(queue().depth) })
+	reg.GaugeFunc("mellowd_queue_capacity", "Admission queue bound.",
+		func() float64 { return float64(queue().capacity) })
+	reg.GaugeFunc("mellowd_workers", "Worker pool size.",
+		func() float64 { return float64(queue().workers) })
+	reg.GaugeFunc("mellowd_result_cache_entries", "Finished jobs held by the result cache.",
+		func() float64 { return float64(queue().results) })
+	RegisterProcessCollectors(reg)
+	return t
+}
+
+// RegisterProcessCollectors adds the process-scope collectors shared by
+// every mellowd-namespace registry: build identity, the simulation
+// scheduler, the experiments memo cache and Go runtime basics.
+// mellowbench reuses it for `-metrics` so both binaries expose one
+// taxonomy.
+func RegisterProcessCollectors(reg *metrics.Registry) {
+	reg.RegisterCollector(func(g *metrics.Gatherer) {
+		g.GaugeRaw("mellowd_build_info",
+			"Build identity of the running mellowd binary (value is always 1).", buildLabels(), 1)
+	})
+	reg.RegisterCollector(sched.Default().Collector("mellowd_"))
+	reg.RegisterCollector(experiments.CacheCollector("mellowd_"))
+	reg.RegisterCollector(metrics.GoRuntime("mellowd_"))
+}
+
+// observe records one finished job's wall time. Lock-free: a vec cell
+// lookup plus two atomic adds.
+func (t *telemetry) observe(kind string, d time.Duration) {
+	t.latency.With(kind).Observe(uint64(d.Microseconds()))
 }
 
 // observeWait records one job's time from admission to worker pickup.
-func (m *metrics) observeWait(d time.Duration) {
+func (t *telemetry) observeWait(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	m.mu.Lock()
-	m.queueWait.Add(uint64(d.Microseconds()))
-	m.mu.Unlock()
+	t.queueWait.Observe(uint64(d.Microseconds()))
+}
+
+// snapshot freezes the registry. Collectors take their own short locks
+// while it is built; nothing is held once it returns.
+func (t *telemetry) snapshot() metrics.Snapshot { return t.reg.Snapshot() }
+
+// write renders the exposition: snapshot first, render after, so a slow
+// scraper can never block a job-completion observe.
+func (t *telemetry) write(w io.Writer) error {
+	return t.snapshot().WritePrometheus(w)
 }
 
 // buildLabels resolves the binary's identity for mellowd_build_info
@@ -77,87 +130,3 @@ var buildLabels = sync.OnceValue(func() string {
 	return fmt.Sprintf(`go_version="%s",version="%s",revision="%s"`,
 		esc(runtime.Version()), esc(version), esc(revision))
 })
-
-// histogram renders one unlabelled stats.Histogram in Prometheus
-// exposition form, converting the microsecond buckets into "le" bounds
-// in seconds.
-func histogram(w io.Writer, name, help string, h *stats.Histogram) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	var cum uint64
-	for _, b := range h.Buckets() {
-		cum += b.Count
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", float64(b.Upper)/1e6), cum)
-	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
-	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.Sum())/1e6)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
-}
-
-func counter(w io.Writer, name, help string, v uint64) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-}
-
-func gauge(w io.Writer, name, help string, v int) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-}
-
-// write renders the full exposition: service counters, queue and cache
-// gauges, the simulation memo-cache counters, and per-kind latency
-// histograms (power-of-two buckets from internal/stats, cumulated into
-// Prometheus "le" bounds in seconds).
-func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers, resultEntries int) {
-	fmt.Fprintf(w, "# HELP mellowd_build_info Build identity of the running mellowd binary (value is always 1).\n"+
-		"# TYPE mellowd_build_info gauge\nmellowd_build_info{%s} 1\n", buildLabels())
-	counter(w, "mellowd_jobs_accepted_total", "Jobs admitted to the work queue.", m.accepted.Load())
-	counter(w, "mellowd_jobs_completed_total", "Jobs finished successfully.", m.completed.Load())
-	counter(w, "mellowd_jobs_failed_total", "Jobs finished with an error.", m.failed.Load())
-	counter(w, "mellowd_jobs_shed_total", "Submissions rejected with 429: queue full.", m.shed.Load())
-	counter(w, "mellowd_jobs_deduped_total", "Submissions joined to an identical active job.", m.deduped.Load())
-	counter(w, "mellowd_result_cache_hits_total", "Submissions answered from the content-addressed result cache.", m.resultHit.Load())
-	gauge(w, "mellowd_queue_depth", "Jobs waiting in the admission queue.", queueDepth)
-	gauge(w, "mellowd_queue_capacity", "Admission queue bound.", queueCap)
-	gauge(w, "mellowd_workers", "Worker pool size.", workers)
-	gauge(w, "mellowd_jobs_running", "Jobs currently executing on the worker pool.", int(m.running.Load()))
-	gauge(w, "mellowd_result_cache_entries", "Finished jobs held by the result cache.", resultEntries)
-
-	ss := sched.Default().Stats()
-	gauge(w, "mellowd_sched_budget", "Process-wide simulation slot budget.", int(ss.Budget))
-	gauge(w, "mellowd_sched_slots_in_use", "Simulation slots currently held.", int(ss.InUse))
-	gauge(w, "mellowd_sched_waiters", "Simulations parked waiting for a scheduler slot.", ss.Waiters)
-	counter(w, "mellowd_sched_acquires_total", "Scheduler slot grants handed out.", ss.Acquires)
-	counter(w, "mellowd_sched_waited_total", "Grants that queued before being granted.", ss.Waited)
-	schedWait := sched.Default().WaitHistogram()
-	histogram(w, "mellowd_sched_wait_seconds",
-		"Time simulations waited for a scheduler slot before running.", &schedWait)
-
-	cs := experiments.CacheSnapshot()
-	counter(w, "mellowd_simcache_hits_total", "Simulation memo-cache hits (incl. singleflight joins).", cs.Hits)
-	counter(w, "mellowd_simcache_misses_total", "Simulations actually executed.", cs.Misses)
-	counter(w, "mellowd_simcache_evictions_total", "Memoised simulations evicted by the cap.", cs.Evictions)
-	gauge(w, "mellowd_simcache_entries", "Memoised simulation results held.", cs.Entries)
-	gauge(w, "mellowd_simcache_inflight", "Deduplicated simulations in flight (running or queued for a scheduler slot).", cs.InFlight)
-	gauge(w, "mellowd_sims_running", "Simulations executing right now (holding a scheduler slot).", cs.Running)
-
-	m.mu.Lock()
-	histogram(w, "mellowd_queue_wait_seconds",
-		"Time jobs spent in the admission queue before a worker picked them up.", &m.queueWait)
-	kinds := make([]string, 0, len(m.latency))
-	for k := range m.latency {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
-	const name = "mellowd_job_duration_seconds"
-	fmt.Fprintf(w, "# HELP %s Wall time of finished jobs by kind.\n# TYPE %s histogram\n", name, name)
-	for _, k := range kinds {
-		h := m.latency[k]
-		var cum uint64
-		for _, b := range h.Buckets() {
-			cum += b.Count
-			fmt.Fprintf(w, "%s_bucket{kind=%q,le=%q} %d\n", name, k, fmt.Sprintf("%g", float64(b.Upper)/1e6), cum)
-		}
-		fmt.Fprintf(w, "%s_bucket{kind=%q,le=\"+Inf\"} %d\n", name, k, h.Count())
-		fmt.Fprintf(w, "%s_sum{kind=%q} %g\n", name, k, float64(h.Sum())/1e6)
-		fmt.Fprintf(w, "%s_count{kind=%q} %d\n", name, k, h.Count())
-	}
-	m.mu.Unlock()
-}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"mellow/internal/config"
+	"mellow/internal/metrics"
 	"mellow/internal/sched"
 )
 
@@ -80,7 +81,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 	log *slog.Logger
-	met *metrics
+	met *telemetry
 
 	// runCtx is cancelled only on hard stop (drain deadline exceeded);
 	// a graceful drain lets in-flight simulations finish under it.
@@ -112,7 +113,6 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
-		met:     newMetrics(),
 		runCtx:  ctx,
 		hardTop: cancel,
 		queue:   make(chan *jobState, cfg.QueueDepth),
@@ -120,6 +120,7 @@ func New(cfg Config) *Server {
 		byKey:   map[string]*jobState{},
 		exec:    runJob,
 	}
+	s.met = newTelemetry(s.queueInfo)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -359,13 +360,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// queueInfo reports queue occupancy for the snapshot-time gauges.
+func (s *Server) queueInfo() queueInfo {
 	s.mu.Lock()
-	depth := len(s.queue)
-	results := len(s.finished)
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	return queueInfo{
+		depth:    len(s.queue),
+		capacity: s.cfg.QueueDepth,
+		workers:  s.cfg.Workers,
+		results:  len(s.finished),
+	}
+}
+
+// Metrics returns a point-in-time snapshot of the process registry —
+// the same families /metrics renders, in the JSON-codec form.
+func (s *Server) Metrics() metrics.Snapshot { return s.met.snapshot() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// The snapshot is taken first (collectors hold their own locks only
+	// while it is built); rendering to however slow a scraper happens
+	// with nothing held, so scrapes never block job completions.
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, depth, s.cfg.QueueDepth, s.cfg.Workers, results)
+	s.met.write(w)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -203,7 +203,7 @@ func TestDedupConcurrent(t *testing.T) {
 	if accepted != 1 {
 		t.Errorf("%d submissions enqueued, want exactly 1", accepted)
 	}
-	if got := s.met.deduped.Load(); got != clients-1 {
+	if got := s.met.deduped.Value(); got != clients-1 {
 		t.Errorf("deduped metric = %d, want %d", got, clients-1)
 	}
 
@@ -220,7 +220,7 @@ func TestDedupConcurrent(t *testing.T) {
 	if code != http.StatusOK || !st.Deduped || st.State != StateDone || st.Result == nil {
 		t.Errorf("cached resubmit: code=%d status=%+v", code, st)
 	}
-	if s.met.resultHit.Load() == 0 {
+	if s.met.resultHit.Value() == 0 {
 		t.Error("result cache hit not counted")
 	}
 }
@@ -280,8 +280,8 @@ func TestShedsUnderSaturation(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("429 without Retry-After")
 	}
-	if s.met.shed.Load() != 1 {
-		t.Errorf("shed metric = %d, want 1", s.met.shed.Load())
+	if s.met.shed.Value() != 1 {
+		t.Errorf("shed metric = %d, want 1", s.met.shed.Value())
 	}
 	close(gate)
 }

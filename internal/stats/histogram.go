@@ -2,15 +2,21 @@ package stats
 
 import (
 	"encoding/json"
+	"math"
 	"math/bits"
 )
+
+// NumBuckets is the fixed bucket count shared by every consumer of the
+// power-of-two layout (internal/metrics builds its atomic histograms on
+// the same geometry).
+const NumBuckets = 48
 
 // Histogram accumulates a latency distribution in power-of-two buckets
 // (bucket i holds values in [2^i, 2^(i+1))). It answers mean and
 // quantile queries cheaply and exactly enough for reporting (quantiles
 // are bucket-resolution).
 type Histogram struct {
-	buckets [48]uint64
+	buckets [NumBuckets]uint64
 	count   uint64
 	sum     uint64
 }
@@ -27,10 +33,31 @@ func bucketOf(v uint64) int {
 		return 0
 	}
 	b := bits.Len64(v) - 1
-	if b >= len(Histogram{}.buckets) {
-		b = len(Histogram{}.buckets) - 1
+	if b >= NumBuckets {
+		b = NumBuckets - 1
 	}
 	return b
+}
+
+// BucketIndex maps a value to its power-of-two bucket, the shared
+// geometry external accumulators (internal/metrics) must agree on.
+func BucketIndex(v uint64) int { return bucketOf(v) }
+
+// FromBuckets assembles a Histogram from raw per-bucket counts (the
+// BucketIndex geometry) and a sample sum. The count is derived from the
+// buckets, so a distribution assembled from a torn concurrent read
+// stays internally consistent: cumulative bucket counts always reach
+// the total. Slices shorter than NumBuckets are zero-extended.
+func FromBuckets(buckets []uint64, sum uint64) Histogram {
+	h := Histogram{sum: sum}
+	for i, c := range buckets {
+		if i >= NumBuckets {
+			break
+		}
+		h.buckets[i] = c
+		h.count += c
+	}
+	return h
 }
 
 // Count returns the number of samples.
@@ -45,14 +72,20 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1) at
-// bucket resolution: the top of the bucket containing it.
+// bucket resolution: the top of the bucket containing it. The target
+// rank is the ceiling of q·count — truncation would bias small-sample
+// p95/p99 one bucket low whenever q·count is fractional (with 10
+// samples, p95 must cover the 10th sample, not the 9th).
 func (h *Histogram) Quantile(q float64) uint64 {
 	if h.count == 0 {
 		return 0
 	}
-	target := uint64(q * float64(h.count))
+	target := uint64(math.Ceil(q * float64(h.count)))
 	if target == 0 {
 		target = 1
+	}
+	if target > h.count {
+		target = h.count
 	}
 	var seen uint64
 	for i, c := range h.buckets {

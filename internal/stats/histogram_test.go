@@ -42,6 +42,58 @@ func TestHistogramQuantileBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileRankEdges pins the target-rank semantics at
+// bucket edges: the rank is the ceiling of q·count, so a fractional
+// product rounds up to the next sample. Truncation — the old bug —
+// would bias every fractional quantile one sample (often one bucket)
+// low: with nine fast samples and one slow one, p95 must report the
+// slow bucket, because the 9.5th sample can only be the 10th.
+func TestHistogramQuantileRankEdges(t *testing.T) {
+	// Samples 1, 2, 4, 8, 16 occupy buckets 0..4 one each; bucket i
+	// tops out at 2^(i+1)-1.
+	var ladder Histogram
+	for _, v := range []uint64{1, 2, 4, 8, 16} {
+		ladder.Add(v)
+	}
+	// Nine samples in bucket 0 (top 1), one in bucket 12 (top 8191).
+	var skewed Histogram
+	for i := 0; i < 9; i++ {
+		skewed.Add(1)
+	}
+	skewed.Add(5000)
+
+	tests := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want uint64
+	}{
+		// Exact edges: q·count integral, rank = q·count.
+		{"ladder q=0.2 rank 1", &ladder, 0.2, 1},
+		{"ladder q=0.4 rank 2", &ladder, 0.4, 3},
+		{"ladder q=0.6 rank 3", &ladder, 0.6, 7},
+		{"ladder q=0.8 rank 4", &ladder, 0.8, 15},
+		{"ladder q=1.0 rank 5", &ladder, 1.0, 31},
+		// Fractional: ceil(2.5) = 3, the true median of five samples.
+		// Truncation would return rank 2 (value 3) — below median.
+		{"ladder q=0.5 rounds up", &ladder, 0.5, 7},
+		// ceil(0.05) = 1: tiny quantiles clamp to the first sample.
+		{"ladder q=0.01 first sample", &ladder, 0.01, 1},
+		// p90 of 10 is exactly the 9th sample: still fast.
+		{"skewed q=0.90 rank 9", &skewed, 0.90, 1},
+		// p95 of 10 is the 9.5th → 10th sample: the slow bucket.
+		// Truncation would report 1 here.
+		{"skewed q=0.95 rounds up", &skewed, 0.95, 8191},
+		{"skewed q=0.91 rounds up", &skewed, 0.91, 8191},
+		{"skewed q=1.0 max", &skewed, 1.0, 8191},
+	}
+	for _, tc := range tests {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
 func TestHistogramSub(t *testing.T) {
 	var h Histogram
 	h.Add(10)

@@ -1,8 +1,10 @@
 package wear
 
 import (
+	"fmt"
 	"math"
 
+	"mellow/internal/metrics"
 	"mellow/internal/nvm"
 	"mellow/internal/policy"
 	"mellow/internal/sim"
@@ -210,4 +212,23 @@ func SystemLifetimeYears(meters []*Meter, blocksPerBank int64, enduranceBlk, eff
 		}
 	}
 	return min
+}
+
+// CollectMeters publishes per-bank wear into a per-run metrics
+// registry: damage gauges by bank, plus totals for migration writes and
+// the worst bank. Read-only over the meters, like every collector.
+func CollectMeters(g *metrics.Gatherer, meters []*Meter) {
+	var gap uint64
+	maxDamage := 0.0
+	for i, m := range meters {
+		d := m.Damage()
+		g.GaugeL("sim_wear_bank_damage", "Cumulative wear by bank, in normal-write units (never reset).",
+			"bank", fmt.Sprintf("%02d", i), d)
+		if d > maxDamage {
+			maxDamage = d
+		}
+		gap += m.GapWrites()
+	}
+	g.Counter("sim_wear_gap_moves_total", "Start-Gap migration writes across banks.", gap)
+	g.Gauge("sim_wear_max_bank_damage", "Worst bank's cumulative damage in normal-write units.", maxDamage)
 }
