@@ -12,13 +12,19 @@
 //	mellowbench -exp fig11 -progress    # live sweep status on stderr
 //	mellowbench -exp fig11 -interval 500us   # per-epoch time series as JSON
 //	mellowbench -exp fig11 -metrics     # process metrics snapshot after the run
+//	mellowbench -exp fig11 -trace out.trace.json   # execution trace for Perfetto
 //	mellowbench -list
 //
 // -interval samples every simulation at the given period of simulated
 // time (the paper's T_sample is 500us) and dumps one JSON series record
 // per (workload, policy) after the tables — or embeds them in the
 // reports with -json. -progress writes "done/total simulations" status
-// lines to stderr as the sweep advances.
+// lines to stderr as the sweep advances. -trace records every
+// simulation's execution timeline (engine phases, epochs, per-bank
+// reads, fast/slow/eager writes, cancellations, drain windows, Wear
+// Quota flips) and writes one Chrome Trace Event Format file — open it
+// at https://ui.perfetto.dev. Traced runs produce byte-identical
+// tables and series to untraced ones.
 package main
 
 import (
@@ -50,6 +56,7 @@ func main() {
 		withMet   = flag.Bool("metrics", false, "append a process metrics snapshot (scheduler, memo cache, runtime) as JSON")
 		interval  = flag.Duration("interval", 0, "sample an epoch series at this period of simulated time (e.g. 500us, min 1us; 0: off)")
 		progress  = flag.Bool("progress", false, "report sweep progress on stderr")
+		traceOut  = flag.String("trace", "", "write every simulation's execution timeline to this file (Chrome Trace Event Format JSON, open in Perfetto)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -102,6 +109,10 @@ func main() {
 	}
 
 	var reports []server.ExperimentReport
+	// Experiments share memoised simulations, so the same *SimTrace can
+	// arrive more than once; the trace file keeps each timeline once.
+	var simTraces []*mellow.SimTrace
+	seenTrace := map[*mellow.SimTrace]bool{}
 	for i, e := range todo {
 		if !*jsonOut && i > 0 {
 			fmt.Println()
@@ -126,6 +137,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "mellowbench: %s: %d/%d simulations\n", id, done, total)
 			}
 		}
+		if *traceOut != "" {
+			opts.Trace = true
+			opts.OnTrace = func(rec mellow.TraceRecord) {
+				if !seenTrace[rec.Trace] {
+					seenTrace[rec.Trace] = true
+					simTraces = append(simTraces, rec.Trace)
+				}
+			}
+		}
 		if err := e.Run(opts); err != nil {
 			fmt.Fprintf(os.Stderr, "mellowbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
@@ -146,6 +166,24 @@ func main() {
 			}
 			fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mellowbench:", err)
+			os.Exit(1)
+		}
+		doc := &mellow.TraceDoc{Sims: simTraces}
+		werr := doc.WriteChrome(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "mellowbench:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mellowbench: wrote %d simulation timelines to %s\n",
+			len(simTraces), *traceOut)
 	}
 	// -metrics snapshots the same process-scope collectors mellowd
 	// serves at /metrics — one taxonomy across both binaries. The

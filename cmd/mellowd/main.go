@@ -9,16 +9,23 @@
 //	mellowd -addr :9000 -workers 8 -queue 64
 //	mellowd -sim-budget 4                # at most 4 concurrent simulations, any job mix
 //	mellowd -job-timeout 5m -quick
+//	mellowd -pprof-addr 127.0.0.1:6060   # net/http/pprof on a separate listener
 //
 // API:
 //
 //	POST /v1/jobs        {"kind":"sim","workload":"stream","policy":"BE-Mellow+SC"}
 //	POST /v1/jobs        {"kind":"compare","workload":"gups","interval_ns":500000}
+//	POST /v1/jobs        {"kind":"sim",...,"trace":true}   # record an execution trace
 //	GET  /v1/jobs/{id}   job status: live "progress" fraction, current
 //	                     "epoch" sample, result inline when done
+//	GET  /v1/jobs/{id}/trace  finished traced job's Chrome/Perfetto trace JSON
 //	GET  /v1/results/{key}  deterministic result payload by content address
 //	GET  /healthz        liveness + queue depth
 //	GET  /metrics        Prometheus text exposition
+//
+// Profiling is opt-in and isolated: -pprof-addr serves the standard
+// net/http/pprof handlers on its own mux and listener (bind it to
+// loopback), never on the public API address.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -49,6 +57,7 @@ func main() {
 		drain      = flag.Duration("drain", 10*time.Minute, "graceful-shutdown drain budget")
 		maxResults = flag.Int("max-results", 1024, "finished jobs kept addressable")
 		simCache   = flag.Int("sim-cache", experiments.DefaultCacheCap, "memoised simulations kept (<=0 unbounded)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty: disabled)")
 		quick      = flag.Bool("quick", false, "scale default run lengths down ~10x")
 	)
 	flag.Parse()
@@ -77,6 +86,31 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// pprof gets its own mux and listener so the profiling surface is
+	// never exposed on the public API address. The default-mux handlers
+	// net/http/pprof registers on import are not served anywhere — both
+	// API and pprof listeners use explicit muxes.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pmux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("pprof listen failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+		log.Info("pprof listening", "addr", *pprofAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -98,6 +132,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Warn("http shutdown", "err", err)
+	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Warn("pprof shutdown", "err", err)
+		}
 	}
 	if err := svc.Shutdown(drainCtx); err != nil {
 		log.Warn("drain incomplete, jobs cancelled", "err", err)

@@ -25,6 +25,7 @@ import (
 	"mellow/internal/mem"
 	"mellow/internal/metrics"
 	"mellow/internal/sim"
+	"mellow/internal/xtrace"
 )
 
 // Phase names the engine's run phases.
@@ -159,6 +160,12 @@ type Options struct {
 	// — collectors are read-only and only evaluated at snapshot time,
 	// so attaching a registry never perturbs event order.
 	Metrics *metrics.Registry
+	// Timeline, when set, records the run's execution timeline: phase
+	// and epoch slices from the engine plus the per-bank operation
+	// events from the memory controller. Like every observer here it is
+	// append-only — a traced run is bit-identical to an untraced one —
+	// and it does not by itself enable the epoch probe.
+	Timeline *xtrace.Recorder
 }
 
 // observing reports whether an epoch probe is wanted at all.
@@ -283,6 +290,9 @@ func (e *Engine) sampleEpoch(now sim.Tick) {
 		s.BankDamage = dMem.BankDamage
 	}
 
+	e.opts.Timeline.Slice(xtrace.TrackEpoch, "epoch", "epoch",
+		s.Start, s.End, 0, uint64(s.Epoch))
+
 	e.epochIdx++
 	e.prevEnd = now
 	e.prevCPU, e.prevCache, e.prevMem = curCPU, curCache, curMem
@@ -342,13 +352,20 @@ func (e *Engine) Run(ctx context.Context) (Outcome, error) {
 		defer e.kernel.RemoveProbe(id)
 		e.rebase()
 	}
+	tl := e.opts.Timeline
+	if tl != nil {
+		e.ctl.SetTrace(tl)
+		defer e.ctl.SetTrace(nil)
+	}
 
 	e.phase = PhaseWarmup
+	phaseStart := e.kernel.Now()
 	if e.run.WarmupInstructions > 0 {
 		if !e.core.RunCancellable(e.run.WarmupInstructions, cancelled) {
 			return Outcome{}, ctx.Err()
 		}
 	}
+	tl.Slice(xtrace.TrackPhase, PhaseWarmup, "phase", phaseStart, e.kernel.Now(), 0, 0)
 	e.hier.ResetStats()
 	e.ctl.ResetStats()
 	e.core.BeginMeasurement()
@@ -358,16 +375,21 @@ func (e *Engine) Run(ctx context.Context) (Outcome, error) {
 	}
 
 	e.phase = PhaseDetailed
+	phaseStart = e.kernel.Now()
 	if !e.core.RunCancellable(e.run.DetailedInstructions, cancelled) {
 		return Outcome{}, ctx.Err()
 	}
+	tl.Slice(xtrace.TrackPhase, PhaseDetailed, "phase", phaseStart, e.kernel.Now(), 0, 0)
 
 	// Drain: align the memory clock with the core before snapshotting so
 	// utilization windows match the measured cycles.
 	e.phase = PhaseDrain
+	phaseStart = e.kernel.Now()
 	if t := sim.Tick(e.core.Cycles()); t > e.ctl.Now() {
 		e.ctl.AdvanceTo(t)
 	}
+	tl.Slice(xtrace.TrackPhase, PhaseDrain, "phase", phaseStart, e.kernel.Now(), 0, 0)
+	e.ctl.FlushTrace()
 
 	out := Outcome{
 		Instructions: e.core.MeasuredInstructions(),

@@ -2,7 +2,10 @@ package engine
 
 import (
 	"math"
+	"sync"
 	"testing"
+
+	"mellow/internal/sim"
 )
 
 func TestTrackerSetAggregation(t *testing.T) {
@@ -44,5 +47,136 @@ func TestTrackerSetAggregation(t *testing.T) {
 	set.Remove(a)
 	if set.Len() != 0 || set.Freshest() != nil {
 		t.Fatal("set not empty after removing all members")
+	}
+}
+
+// TestTrackerProgressMonotoneConcurrent hammers one Tracker from many
+// writers publishing out-of-order progress values while readers verify
+// the published fraction never moves backwards — the contract a job's
+// live "progress" field depends on when matrix cells race.
+func TestTrackerProgressMonotoneConcurrent(t *testing.T) {
+	const writers, steps = 8, 2000
+	tr := &Tracker{}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			prev := 0.0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := tr.Progress()
+				if p < prev {
+					t.Errorf("progress moved backwards: %v after %v", p, prev)
+					return
+				}
+				prev = p
+			}
+		}()
+	}
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < steps; i++ {
+				// Interleaved ascending and descending publications, plus
+				// out-of-range junk that must clamp rather than regress.
+				tr.SetProgress(float64(i) / steps)
+				tr.SetProgress(float64(steps-i) / steps)
+				if i%97 == 0 {
+					tr.SetProgress(-1)
+					tr.SetProgress(math.NaN())
+					tr.SetProgress(2)
+				}
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	if p := tr.Progress(); p != 1 {
+		t.Fatalf("final progress = %v, want 1 (a writer published 2, clamped)", p)
+	}
+}
+
+// TestTrackerSetConcurrentChurn mimics a sweep's matrix cells: trackers
+// join and publish epochs concurrently while a status reader polls the
+// aggregate. While membership is add-only and every member's progress is
+// monotone, both SumProgress and the freshest sample's end tick can only
+// move forward — the invariant a job's live progress figure relies on.
+func TestTrackerSetConcurrentChurn(t *testing.T) {
+	const cells = 16
+	var set TrackerSet
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		prevSum := 0.0
+		var prevEnd sim.Tick
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sum := set.SumProgress()
+			if sum < prevSum-1e-9 {
+				t.Errorf("SumProgress moved backwards: %v after %v", sum, prevSum)
+				return
+			}
+			if sum > float64(cells)+1e-9 {
+				t.Errorf("SumProgress %v exceeds cell count %d", sum, cells)
+				return
+			}
+			if sum > prevSum {
+				prevSum = sum
+			}
+			if s := set.Freshest(); s != nil {
+				if s.End < prevEnd {
+					t.Errorf("freshest sample regressed: end %d after %d", s.End, prevEnd)
+					return
+				}
+				prevEnd = s.End
+			}
+		}
+	}()
+	var cellsWG sync.WaitGroup
+	trackers := make([]*Tracker, cells)
+	for c := 0; c < cells; c++ {
+		cellsWG.Add(1)
+		go func(c int) {
+			defer cellsWG.Done()
+			tr := &Tracker{}
+			trackers[c] = tr
+			set.Add(tr)
+			for i := 1; i <= 200; i++ {
+				tr.publish(&EpochSample{Epoch: i - 1, End: sim.Tick(i * 500), Progress: float64(i) / 200})
+			}
+		}(c)
+	}
+	cellsWG.Wait()
+	close(stop)
+	readers.Wait()
+	if got := set.SumProgress(); math.Abs(got-cells) > 1e-9 {
+		t.Fatalf("final SumProgress = %v, want %d", got, cells)
+	}
+	if s := set.Freshest(); s == nil || s.End != 200*500 {
+		t.Fatalf("final freshest = %+v, want end tick %d", s, 200*500)
+	}
+	for _, tr := range trackers {
+		if tr.Epochs() != 200 {
+			t.Fatalf("tracker closed %d epochs, want 200", tr.Epochs())
+		}
+		set.Remove(tr)
+	}
+	if set.Len() != 0 {
+		t.Fatalf("set len = %d after all cells retired", set.Len())
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"mellow/internal/sched"
 	"mellow/internal/sim"
 	"mellow/internal/trace"
+	"mellow/internal/xtrace"
 )
 
 // Options control an experiment run.
@@ -50,6 +51,14 @@ type Options struct {
 	// completes, with the done count and the sweep total. Calls are
 	// serialised; completion order is nondeterministic.
 	OnProgress func(done, total int)
+	// Trace records an execution timeline for every simulation and
+	// hands each to OnTrace. Traced runs are bit-identical to untraced
+	// ones; they only memoise under a distinct key.
+	Trace bool
+	// OnTrace receives one record per simulated (workload, policy) when
+	// Trace is set. Calls are serialised, in completion order. The
+	// timeline is shared with the memo cache and must not be modified.
+	OnTrace func(TraceRecord)
 }
 
 func (o Options) ctx() context.Context {
@@ -129,15 +138,16 @@ type runKey struct {
 	epoch      sim.Tick // 0 for unobserved runs
 	bankDamage bool
 	metrics    bool // per-run metrics snapshot stored with the value
+	trace      bool // execution timeline stored with the value
 }
 
-func keyFor(cfg config.Config, spec policy.Spec, workload string, epoch sim.Tick, bankDamage, metrics bool) runKey {
+func keyFor(cfg config.Config, spec policy.Spec, workload string, epoch sim.Tick, bankDamage, metrics, trace bool) runKey {
 	b, err := cfg.CanonicalJSON()
 	if err != nil {
 		panic(fmt.Sprintf("experiments: config not serialisable: %v", err))
 	}
 	return runKey{cfg: string(b), policy: spec.Name, workload: workload,
-		epoch: epoch, bankDamage: bankDamage, metrics: metrics}
+		epoch: epoch, bankDamage: bankDamage, metrics: metrics, trace: trace}
 }
 
 // DefaultCacheCap bounds the memoisation cache so a long-lived process
@@ -160,12 +170,14 @@ type CacheStats struct {
 }
 
 // cached is one memoised simulation: the result, plus the epoch series
-// for observed runs and the per-run metrics snapshot for instrumented
-// runs (nil otherwise). Entries are immutable once stored.
+// for observed runs, the per-run metrics snapshot for instrumented runs
+// and the execution timeline for traced runs (nil otherwise). Entries
+// are immutable once stored.
 type cached struct {
 	res    core.Result
 	series []engine.EpochSample
 	met    *metrics.Snapshot
+	trace  *xtrace.SimTrace
 }
 
 // flight is one in-progress simulation that concurrent callers join.
@@ -345,7 +357,7 @@ func CacheCollector(prefix string) metrics.Collector {
 // concurrently and its result is reused across callers — the primitive
 // the mellowd service builds on.
 func RunCached(ctx context.Context, cfg config.Config, spec policy.Spec, workload string) (core.Result, error) {
-	c, err := memo.do(ctx, keyFor(cfg, spec, workload, 0, false, false), func() (cached, error) {
+	c, err := memo.do(ctx, keyFor(cfg, spec, workload, 0, false, false, false), func() (cached, error) {
 		r, err := core.RunContext(ctx, cfg, spec, workload)
 		return cached{res: r}, err
 	})
@@ -366,6 +378,12 @@ type Observation struct {
 	// cache, mem and wear publish their counters as collectors and the
 	// run's deterministic snapshot is memoised alongside the result.
 	Metrics bool
+	// Trace, when set, records the run's execution timeline (engine
+	// phases, epochs, per-bank controller events) into a bounded ring
+	// and memoises it alongside the result. The timeline recorder is an
+	// append-only observer: a traced run's result and series are
+	// bit-identical to an untraced run's.
+	Trace bool
 }
 
 func (ob Observation) epoch() sim.Tick {
@@ -384,13 +402,33 @@ func RunObserved(ctx context.Context, cfg config.Config, spec policy.Spec, workl
 	return r, series, err
 }
 
-// RunInstrumented is the full memoised entry point: epoch observation
-// when ob.Epoch > 0, a per-run metrics snapshot when ob.Metrics, both
-// stored with the memoised value (snapshots are deterministic, so equal
-// keys still yield equal bytes). The returned series and snapshot are
-// shared and must not be modified.
+// RunInstrumented is the metrics-aware memoised entry point: epoch
+// observation when ob.Epoch > 0, a per-run metrics snapshot when
+// ob.Metrics. The returned series and snapshot are shared and must not
+// be modified. Callers that also want the execution timeline use
+// RunFull.
 func RunInstrumented(ctx context.Context, cfg config.Config, spec policy.Spec, workload string, ob Observation) (core.Result, []engine.EpochSample, *metrics.Snapshot, error) {
-	key := keyFor(cfg, spec, workload, ob.Epoch, ob.BankDamage, ob.Metrics)
+	ins, err := RunFull(ctx, cfg, spec, workload, ob)
+	return ins.Result, ins.Series, ins.Metrics, err
+}
+
+// Instrumented bundles everything one memoised simulation can produce.
+// Series, Metrics and Trace are shared with the memo cache and must not
+// be modified.
+type Instrumented struct {
+	Result  core.Result
+	Series  []engine.EpochSample
+	Metrics *metrics.Snapshot
+	Trace   *xtrace.SimTrace
+}
+
+// RunFull is the full memoised entry point: epoch observation when
+// ob.Epoch > 0, a per-run metrics snapshot when ob.Metrics, an
+// execution timeline when ob.Trace — all stored with the memoised value
+// (every observer is deterministic or, for the timeline, read-only, so
+// equal keys still yield equal result bytes).
+func RunFull(ctx context.Context, cfg config.Config, spec policy.Spec, workload string, ob Observation) (Instrumented, error) {
+	key := keyFor(cfg, spec, workload, ob.Epoch, ob.BankDamage, ob.Metrics, ob.Trace)
 	c, err := memo.do(ctx, key, func() (cached, error) {
 		opts := engine.Options{
 			Epoch:      ob.Epoch,
@@ -403,23 +441,35 @@ func RunInstrumented(ctx context.Context, cfg config.Config, spec policy.Spec, w
 			reg = metrics.NewRegistry()
 			opts.Metrics = reg
 		}
+		var rec *xtrace.Recorder
+		if ob.Trace {
+			rec = xtrace.NewRecorder(0)
+			opts.Timeline = rec
+		}
 		r, series, err := core.RunObserved(ctx, cfg, spec, workload, opts)
+		if err != nil {
+			rec.Discard()
+			return cached{}, err
+		}
 		ch := cached{res: r, series: series}
-		if err == nil && reg != nil {
+		if reg != nil {
 			snap := reg.Snapshot()
 			ch.met = &snap
+		}
+		if rec != nil {
+			ch.trace = rec.Finalize(workload, spec.Name, cfg.Memory.Banks())
 		}
 		return ch, err
 	})
 	if err != nil {
-		return core.Result{}, nil, nil, err
+		return Instrumented{}, err
 	}
 	if ob.Tracker != nil {
 		// Covers the memo-hit and joined-flight paths; a no-op when this
 		// caller ran the simulation itself.
 		ob.Tracker.SetProgress(1)
 	}
-	return c.res, c.series, c.met, nil
+	return Instrumented{Result: c.res, Series: c.series, Metrics: c.met, Trace: c.trace}, nil
 }
 
 // SeriesRecord labels one simulation's epoch series for export.
@@ -427,6 +477,15 @@ type SeriesRecord struct {
 	Workload string               `json:"workload"`
 	Policy   string               `json:"policy"`
 	Series   []engine.EpochSample `json:"series"`
+}
+
+// TraceRecord labels one simulation's execution timeline for export.
+// The timeline may be shared across records when experiments reuse a
+// memoised run.
+type TraceRecord struct {
+	Workload string
+	Policy   string
+	Trace    *xtrace.SimTrace
 }
 
 // job is one simulation to perform.
@@ -483,11 +542,21 @@ func runAll(o Options, jobs []job) (map[[2]string]core.Result, error) {
 			}
 			var r core.Result
 			var series []engine.EpochSample
+			var tr *xtrace.SimTrace
 			var err error
-			if o.Epoch > 0 {
+			switch {
+			case o.Trace:
+				ob := Observation{Trace: true}
+				if o.Epoch > 0 {
+					ob.Epoch = o.Epoch
+				}
+				var ins Instrumented
+				ins, err = RunFull(ctx, j.cfg, j.spec, j.workload, ob)
+				r, series, tr = ins.Result, ins.Series, ins.Trace
+			case o.Epoch > 0:
 				r, series, err = RunObserved(ctx, j.cfg, j.spec, j.workload,
 					Observation{Epoch: o.Epoch})
-			} else {
+			default:
 				r, err = RunCached(ctx, j.cfg, j.spec, j.workload)
 			}
 			resMu.Lock()
@@ -504,6 +573,9 @@ func runAll(o Options, jobs []job) (map[[2]string]core.Result, error) {
 			done++
 			if err == nil && o.OnSeries != nil && o.Epoch > 0 {
 				o.OnSeries(SeriesRecord{Workload: j.workload, Policy: j.spec.Name, Series: series})
+			}
+			if err == nil && o.OnTrace != nil && tr != nil {
+				o.OnTrace(TraceRecord{Workload: j.workload, Policy: j.spec.Name, Trace: tr})
 			}
 			if o.OnProgress != nil {
 				o.OnProgress(done, total)

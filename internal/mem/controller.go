@@ -10,6 +10,7 @@ import (
 	"mellow/internal/sim"
 	"mellow/internal/stats"
 	"mellow/internal/wear"
+	"mellow/internal/xtrace"
 )
 
 // eagerPumpInterval is how often the controller lets the LLC refill the
@@ -73,6 +74,13 @@ type Controller struct {
 	gaps   []*wear.StartGap
 
 	eagerSource EagerSource
+
+	// trace, when non-nil, receives the per-bank execution timeline.
+	// Hooks cost one nil check when disabled and only ever append to
+	// the recorder, so a traced run stays bit-identical to an untraced
+	// one.
+	trace      *xtrace.Recorder
+	drainStart sim.Tick
 
 	statsStart  sim.Tick
 	energy      energy.Breakdown
@@ -149,10 +157,45 @@ func (c *Controller) SetEagerSource(src EagerSource) {
 	}
 }
 
+// SetTrace attaches (or detaches, nil) the execution-timeline
+// recorder. The engine installs it before a traced run starts.
+func (c *Controller) SetTrace(r *xtrace.Recorder) { c.trace = r }
+
+// Timeline slice names by write mode, precomputed so the trace hooks
+// never format on the hot path.
+var (
+	writeSliceName = [4]string{"fast write", "slow write 1.5x", "slow write 2.0x", "slow write 3.0x"}
+	eagerSliceName = [4]string{"eager write", "eager write 1.5x", "eager write 2.0x", "eager write 3.0x"}
+)
+
+// traceOp records one finished bank operation on its bank track.
+func (c *Controller) traceOp(r *Request, start, end sim.Tick) {
+	if c.trace == nil {
+		return
+	}
+	name := "read"
+	switch r.Kind {
+	case KindWrite:
+		name = writeSliceName[r.mode]
+	case KindEager:
+		name = eagerSliceName[r.mode]
+	}
+	c.trace.Slice(xtrace.BankTrack(r.Bank), name, r.Kind.String(),
+		start, end, r.Line, uint64(r.attempts))
+}
+
 // quotaTick closes a Wear Quota sample period on every bank (§IV-C).
-func (c *Controller) quotaTick(sim.Tick) {
+func (c *Controller) quotaTick(now sim.Tick) {
 	for b := range c.quotas {
-		c.quotas[b].StartPeriod(c.meters[b].Damage())
+		flipped := c.quotas[b].StartPeriod(c.meters[b].Damage())
+		if flipped && c.trace != nil {
+			name := "quota: fast writes restored"
+			if c.quotas[b].Exceeded() {
+				name = "quota exceeded: slow-only"
+			}
+			c.trace.Instant(xtrace.BankTrack(b), name, "quota", now,
+				0, c.quotas[b].Periods())
+		}
 	}
 	c.k.After(c.spec.QuotaPeriod, c.quotaTick)
 }
@@ -375,6 +418,10 @@ func (c *Controller) maybePreemptForRead(r *Request, now sim.Tick) {
 	c.meters[r.Bank].RecordCancelled(w.mode, c.cfg.Device.Damage(w.mode)*frac)
 	c.energy.AddCancelled(c.em, w.mode, frac)
 	b.busy.AddBusy(b.curStart, now)
+	if c.trace != nil {
+		c.trace.Slice(xtrace.BankTrack(r.Bank), "cancelled write", "cancel",
+			b.curStart, now, w.Line, uint64(w.attempts))
+	}
 	b.cur = nil
 	b.freeAt = now + cancelPenalty
 	// The write returns to the head of its queue for retry.
@@ -401,6 +448,10 @@ func (c *Controller) pauseWrite(bank int, now sim.Tick) {
 	c.counts.Pauses++
 	w.remaining = b.freeAt - now
 	b.busy.AddBusy(b.curStart, now)
+	if c.trace != nil {
+		c.trace.Slice(xtrace.BankTrack(bank), "paused write", "pause",
+			b.curStart, now, w.Line, uint64(w.attempts))
+	}
 	b.cur = nil
 	b.freeAt = now + cancelPenalty
 	if w.Kind == KindEager {
@@ -418,9 +469,31 @@ func (c *Controller) updateDrainState(now sim.Tick) {
 		c.draining = true
 		c.counts.Drains++
 		c.drainMeter.Set(true, now)
+		if c.trace != nil {
+			c.drainStart = now
+			c.trace.Instant(xtrace.TrackController, "drain start", "drain",
+				now, 0, uint64(len(c.writeQ)))
+		}
 	} else if c.draining && len(c.writeQ) <= c.cfg.DrainLow {
 		c.draining = false
 		c.drainMeter.Set(false, now)
+		if c.trace != nil {
+			c.trace.Slice(xtrace.TrackController, "drain", "drain",
+				c.drainStart, now, 0, uint64(len(c.writeQ)))
+		}
+	}
+}
+
+// FlushTrace closes any timeline window still open when a traced run
+// ends (a drain the run finished inside). The engine calls it once
+// after the final drain phase.
+func (c *Controller) FlushTrace() {
+	if c.trace == nil {
+		return
+	}
+	if c.draining {
+		c.trace.Slice(xtrace.TrackController, "drain", "drain",
+			c.drainStart, c.k.Now(), 0, uint64(len(c.writeQ)))
 	}
 }
 
@@ -599,6 +672,7 @@ func (c *Controller) completeBankOp(bank int, r *Request, gen int, now sim.Tick)
 	}
 	b.cur = nil
 	b.busy.AddBusy(b.curStart, now)
+	c.traceOp(r, b.curStart, now)
 	if r.Kind != KindRead {
 		c.finishWrite(bank, r, now)
 		if b.freeAt > now {

@@ -27,6 +27,7 @@ import (
 
 	"mellow/internal/metrics"
 	"mellow/internal/stats"
+	"mellow/internal/xtrace"
 )
 
 // waiter is one parked acquire. ready closes when the scheduler grants
@@ -97,10 +98,14 @@ func (s *Scheduler) Acquire(ctx context.Context, weight int64) (func(), error) {
 	start := time.Now()
 	select {
 	case <-w.ready:
+		granted := time.Now()
 		s.mu.Lock()
 		s.waited++
-		s.waitHist.Add(uint64(time.Since(start).Microseconds()))
+		s.waitHist.Add(uint64(granted.Sub(start).Microseconds()))
 		s.mu.Unlock()
+		// Parked acquires are the interesting ones for a trace: record
+		// the wait as a span when the context carries a recorder.
+		xtrace.FromContext(ctx).Span("sched-wait", "sched", start, granted)
 		return s.releaser(weight), nil
 	case <-ctx.Done():
 		s.mu.Lock()

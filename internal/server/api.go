@@ -65,6 +65,14 @@ type JobRequest struct {
 	// key, so equal keys still yield equal bytes. Experiment jobs ignore
 	// it: their artifact is the rendered report.
 	Metrics bool `json:"metrics,omitempty"`
+	// Trace records an end-to-end execution trace for the job: wall-clock
+	// service spans (queued, sched-wait, per-cell simulation, render)
+	// plus each simulation's deterministic timeline (engine phases,
+	// epochs, per-bank controller events). The finished trace is served
+	// as Chrome Trace Event Format JSON at GET /v1/jobs/{id}/trace; the
+	// job result itself is byte-identical to an untraced run's. The flag
+	// enters the cache key — a traced job memoises its timelines.
+	Trace bool `json:"trace,omitempty"`
 	// TimeoutSeconds caps this job's execution (bounded by the server's
 	// per-job timeout). It does not enter the job's cache key.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
@@ -109,6 +117,7 @@ type canonicalJob struct {
 	Experiment string        `json:"experiment,omitempty"`
 	IntervalNS uint64        `json:"interval_ns,omitempty"`
 	Metrics    bool          `json:"metrics,omitempty"`
+	Trace      bool          `json:"trace,omitempty"`
 }
 
 // normalize resolves a request against the base configuration,
@@ -141,6 +150,7 @@ func normalize(req JobRequest, base config.Config) (canonicalJob, string, error)
 	if c.Kind != KindExperiment {
 		c.Metrics = req.Metrics
 	}
+	c.Trace = req.Trace
 
 	switch c.Kind {
 	case KindSim:

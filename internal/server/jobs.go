@@ -16,6 +16,7 @@ import (
 	"mellow/internal/metrics"
 	"mellow/internal/policy"
 	"mellow/internal/sim"
+	"mellow/internal/xtrace"
 )
 
 // jobState is one submitted job's lifecycle record. Mutable fields are
@@ -38,6 +39,14 @@ type jobState struct {
 	done       chan struct{}
 
 	progress jobProgress
+
+	// spans is the wall-clock span recorder, minted at admission for
+	// jobs submitted with "trace": true (nil otherwise; every recording
+	// call is nil-safe).
+	spans *xtrace.SpanRecorder
+	// traces collects each simulation's execution timeline. runJob's
+	// workers write disjoint slots; readers wait for done to close.
+	traces []*xtrace.SimTrace
 }
 
 // jobProgress is a job's live completion state: simulations attempted
@@ -254,6 +263,10 @@ func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
 		if canon.Metrics {
 			snaps = make([]*metrics.Snapshot, len(cells))
 		}
+		var traces []*xtrace.SimTrace
+		if canon.Trace {
+			traces = make([]*xtrace.SimTrace, len(cells))
+		}
 		var (
 			wg       sync.WaitGroup
 			mu       sync.Mutex
@@ -265,26 +278,31 @@ func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
 			go func() {
 				defer wg.Done()
 				var err error
-				if epoch > 0 || canon.Metrics {
+				if epoch > 0 || canon.Metrics || canon.Trace {
 					var tr *engine.Tracker
 					if epoch > 0 {
 						tr = &engine.Tracker{}
 					}
 					js.progress.beginSim(tr)
-					var r core.Result
-					var s []engine.EpochSample
-					var m *metrics.Snapshot
-					r, s, m, err = experiments.RunInstrumented(runCtx, canon.Config, cl.spec, cl.workload,
-						experiments.Observation{Epoch: epoch, Tracker: tr, Metrics: canon.Metrics})
+					cellStart := time.Now()
+					var ins experiments.Instrumented
+					ins, err = experiments.RunFull(runCtx, canon.Config, cl.spec, cl.workload,
+						experiments.Observation{Epoch: epoch, Tracker: tr,
+							Metrics: canon.Metrics, Trace: canon.Trace})
+					js.spans.Span("sim "+cl.workload+"/"+cl.policy, "cell",
+						cellStart, time.Now(), "workload", cl.workload, "policy", cl.policy)
 					js.progress.endSim(tr)
 					if err == nil {
-						results[i] = r
+						results[i] = ins.Result
 						if epoch > 0 {
 							series[i] = experiments.SeriesRecord{
-								Workload: cl.workload, Policy: cl.policy, Series: s}
+								Workload: cl.workload, Policy: cl.policy, Series: ins.Series}
 						}
 						if canon.Metrics {
-							snaps[i] = m
+							snaps[i] = ins.Metrics
+						}
+						if canon.Trace {
+							traces[i] = ins.Trace
 						}
 					}
 				} else {
@@ -306,12 +324,15 @@ func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
 			}()
 		}
 		wg.Wait()
+		js.traces = traces
 		if firstErr != nil {
 			return nil, firstErr
 		}
+		renderStart := time.Now()
 		out.Results = results
 		out.Series = series
 		out.Metrics = snaps
+		js.spans.Span("render", "job", renderStart, time.Now())
 	case KindExperiment:
 		e, err := experiments.ByID(canon.Experiment)
 		if err != nil {
@@ -330,11 +351,19 @@ func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
 			opts.Epoch = epoch
 			opts.OnSeries = func(rec experiments.SeriesRecord) { records = append(records, rec) }
 		}
+		if canon.Trace {
+			opts.Trace = true
+			opts.OnTrace = func(rec experiments.TraceRecord) {
+				js.traces = append(js.traces, rec.Trace)
+			}
+		}
 		if err := e.Run(opts); err != nil {
 			return nil, err
 		}
+		renderStart := time.Now()
 		sortSeriesRecords(records)
 		out.Report = &ExperimentReport{ID: e.ID, Title: e.Title, Output: buf.String(), Series: records}
+		js.spans.Span("render", "job", renderStart, time.Now())
 	}
 	return out, nil
 }

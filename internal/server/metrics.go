@@ -12,6 +12,7 @@ import (
 	"mellow/internal/experiments"
 	"mellow/internal/metrics"
 	"mellow/internal/sched"
+	"mellow/internal/xtrace"
 )
 
 // telemetry is the service's face of the process metrics registry: the
@@ -84,6 +85,14 @@ func RegisterProcessCollectors(reg *metrics.Registry) {
 	})
 	reg.RegisterCollector(sched.Default().Collector("mellowd_"))
 	reg.RegisterCollector(experiments.CacheCollector("mellowd_"))
+	reg.RegisterCollector(func(g *metrics.Gatherer) {
+		g.Gauge("mellowd_traces_active",
+			"Execution-timeline recorders currently recording (created, not yet finalized).",
+			float64(xtrace.ActiveCount()))
+		g.Counter("mellowd_trace_events_dropped_total",
+			"Trace events discarded at a ring-buffer or span-buffer bound since process start.",
+			xtrace.DroppedCount())
+	})
 	reg.RegisterCollector(metrics.GoRuntime("mellowd_"))
 }
 

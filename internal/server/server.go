@@ -23,6 +23,7 @@ import (
 	"mellow/internal/config"
 	"mellow/internal/metrics"
 	"mellow/internal/sched"
+	"mellow/internal/xtrace"
 )
 
 // Config sets the service's capacity knobs; zero values take defaults.
@@ -148,7 +149,11 @@ func (s *Server) execute(js *jobState) {
 	if timeout <= 0 || timeout > s.cfg.JobTimeout {
 		timeout = s.cfg.JobTimeout
 	}
+	js.spans.Span("queued", "job", js.queuedAt, js.startedAt)
 	ctx, cancel := context.WithTimeout(s.runCtx, timeout)
+	// The span recorder travels in the context so lower layers (the
+	// scheduler's parked acquires) stamp their own phases.
+	ctx = xtrace.NewContext(ctx, js.spans)
 	res, err := s.exec(ctx, js)
 	cancel()
 
@@ -170,9 +175,12 @@ func (s *Server) execute(js *jobState) {
 	s.mu.Unlock()
 	close(js.done)
 
+	js.spans.Span("run", "job", js.startedAt, js.finishedAt,
+		"kind", js.canon.Kind, "state", js.state)
 	s.met.observe(js.canon.Kind, elapsed)
 	s.log.Info("job finished",
 		"id", js.id, "kind", js.canon.Kind, "state", js.state,
+		"trace_id", js.spans.TraceID(),
 		"elapsed_ms", elapsed.Milliseconds(), "err", js.err)
 }
 
@@ -227,6 +235,9 @@ func (s *Server) Submit(req JobRequest) (JobStatus, int, error) {
 	}
 	if req.TimeoutSeconds > 0 {
 		js.timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
+	}
+	if canon.Trace {
+		js.spans = xtrace.NewSpanRecorder("")
 	}
 
 	select {
@@ -297,6 +308,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -333,6 +345,40 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobTrace serves a finished traced job's execution trace as
+// Chrome Trace Event Format JSON (loadable in Perfetto). The trace is
+// a separate artifact from the job result, which stays byte-identical
+// to an untraced run's.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	js, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown job id"})
+		return
+	}
+	if js.spans == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: `job was not submitted with "trace": true`})
+		return
+	}
+	select {
+	case <-js.done:
+	default:
+		writeJSON(w, http.StatusConflict, APIError{Error: "job not finished; poll GET /v1/jobs/{id}"})
+		return
+	}
+	doc := &xtrace.Doc{
+		TraceID: js.spans.TraceID(),
+		Origin:  js.queuedAt,
+		Spans:   js.spans.Spans(),
+		Sims:    js.traces,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := doc.WriteChrome(w); err != nil {
+		s.log.Error("trace render failed", "id", js.id, "err", err)
+	}
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {

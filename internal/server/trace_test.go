@@ -1,0 +1,163 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mellow/internal/experiments"
+)
+
+// chromeTrace mirrors the slice of the Chrome Trace Event Format the
+// tests assert on.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	OtherData       struct {
+		TraceID string `json:"trace_id"`
+	} `json:"otherData"`
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		PID  int     `json:"pid"`
+		TID  int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+func getTrace(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestJobTraceEndpoint submits a traced sim job and fetches its trace:
+// the payload must be valid Chrome Trace Event Format with service
+// spans and at least one simulation timeline — and the job result must
+// be byte-for-byte what the untraced twin produces.
+func TestJobTraceEndpoint(t *testing.T) {
+	experiments.ResetCache()
+	_, ts := newTestServer(t, Config{Workers: 2, BaseConfig: tinyBase(17)})
+
+	plain, code := postJob(t, ts, `{"kind":"sim","workload":"gups","policy":"BE-Mellow+SC+WQ"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("untraced submit = %d", code)
+	}
+	plainDone := waitDone(t, ts, plain.ID)
+	if plainDone.State != StateDone {
+		t.Fatalf("untraced state = %s (%s)", plainDone.State, plainDone.Error)
+	}
+
+	traced, code := postJob(t, ts, `{"kind":"sim","workload":"gups","policy":"BE-Mellow+SC+WQ","trace":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("traced submit = %d", code)
+	}
+	if traced.Key == plain.Key {
+		t.Error("trace flag did not enter the job content address")
+	}
+	tracedDone := waitDone(t, ts, traced.ID)
+	if tracedDone.State != StateDone {
+		t.Fatalf("traced state = %s (%s)", tracedDone.State, tracedDone.Error)
+	}
+	// The determinism contract across the API: tracing changes the key
+	// (a separate cache entry) but not one byte of the simulation output.
+	if !reflect.DeepEqual(plainDone.Result.Results, tracedDone.Result.Results) {
+		t.Error("traced job result differs from untraced twin")
+	}
+
+	resp, body := getTrace(t, ts.URL+"/v1/jobs/"+traced.ID+"/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" || len(doc.OtherData.TraceID) != 16 {
+		t.Fatalf("bad trace header: unit %q, id %q", doc.DisplayTimeUnit, doc.OtherData.TraceID)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	spanNames, phaseKinds := map[string]bool{}, map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phaseKinds[e.Ph]++
+		if e.Ph == "b" {
+			spanNames[e.Name] = true
+		}
+	}
+	if !spanNames["queued"] || !spanNames["sim gups/BE-Mellow+SC+WQ"] {
+		t.Errorf("service spans missing: %v", spanNames)
+	}
+	if phaseKinds["X"] == 0 {
+		t.Error("no simulation slices in trace")
+	}
+	if !strings.Contains(string(body), "sim gups/BE-Mellow+SC+WQ") {
+		t.Error("no simulation process metadata in trace")
+	}
+
+	// The untraced job has no trace artifact.
+	resp, body = getTrace(t, ts.URL+"/v1/jobs/"+plain.ID+"/trace")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("untraced job trace fetch = %d: %s", resp.StatusCode, body)
+	}
+	// Unknown job ids 404.
+	if resp, _ = getTrace(t, ts.URL+"/v1/jobs/nope/trace"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace fetch = %d", resp.StatusCode)
+	}
+}
+
+// TestJobTraceConflictWhileRunning verifies the endpoint refuses to
+// serve a trace before the job finishes.
+func TestJobTraceConflictWhileRunning(t *testing.T) {
+	experiments.ResetCache()
+	base := tinyBase(19)
+	base.Run.DetailedInstructions = 50_000_000 // seconds of work
+	s, ts := newTestServer(t, Config{Workers: 1, BaseConfig: base})
+
+	st, code := postJob(t, ts, `{"kind":"sim","workload":"stream","policy":"Norm","trace":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	resp, body := getTrace(t, ts.URL+"/v1/jobs/"+st.ID+"/trace")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("trace fetch while running = %d: %s", resp.StatusCode, body)
+	}
+	// Hard-stop cancels the in-flight simulation; the job fails but its
+	// service spans are still servable.
+	stopCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(stopCtx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown err = %v, want DeadlineExceeded", err)
+	}
+	final := waitDone(t, ts, st.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state after hard stop = %s", final.State)
+	}
+	resp, body = getTrace(t, ts.URL+"/v1/jobs/"+st.ID+"/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch after failure = %d: %s", resp.StatusCode, body)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("failed-job trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("failed traced job exported no events (queued span expected)")
+	}
+}

@@ -169,11 +169,15 @@ func NewQuota(blocksPerBank int64, enduranceBlk float64, samplePeriod sim.Tick,
 }
 
 // StartPeriod is called at each sample-period boundary with the bank's
-// cumulative damage; it computes ExceedQuota for the period just begun.
-func (q *Quota) StartPeriod(cumulativeDamage float64) {
+// cumulative damage; it computes ExceedQuota for the period just begun
+// and reports whether the decision flipped relative to the previous
+// period (the event execution tracing records).
+func (q *Quota) StartPeriod(cumulativeDamage float64) (flipped bool) {
 	// ExceedQuota = ΣWear_bank − WearBound_bank × Num_previous_periods.
+	was := q.exceed
 	q.exceed = cumulativeDamage-q.bound*float64(q.periods) > 0
 	q.periods++
+	return q.exceed != was
 }
 
 // Exceeded reports whether only slow writes may issue this period.

@@ -1,0 +1,173 @@
+// Package xtrace is the execution-tracing layer of the repository: a
+// low-overhead recorder for *when* things happened, complementing the
+// aggregate counters of internal/metrics (which answer *how many*).
+//
+// Two recorders share one export format:
+//
+//   - SpanRecorder captures wall-clock service spans — the phases a
+//     mellowd job passes through (queued, sched-wait, per-cell
+//     simulation, render). A span recorder travels in a
+//     context.Context from job admission down through sched and
+//     experiments, so layers stamp their own phases without new
+//     plumbing.
+//
+//   - Recorder captures a simulated-time timeline — a bounded ring
+//     buffer of per-bank events (reads, fast/slow/eager writes,
+//     cancellations, pauses, drain windows, Wear Quota flips) plus the
+//     engine's phase and epoch tracks, in kernel ticks.
+//
+// Both export as Chrome Trace Event Format JSON (see Doc.WriteChrome),
+// loadable in Perfetto or chrome://tracing.
+//
+// Tracing is always compilable out: every recording method is safe on
+// a nil receiver and returns immediately, so a disabled hook costs one
+// nil check. An enabled recorder only appends to its own buffer — it
+// never reads or mutates simulated state — so a traced run is
+// bit-identical to an untraced one (the same determinism contract the
+// epoch probes and per-run metrics registries obey; see DESIGN.md
+// §3.4).
+//
+// The package is distinct from internal/trace, which models workload
+// memory traces (the simulator's *input*); xtrace records execution
+// (the simulator's *behaviour*).
+package xtrace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Package-wide telemetry, exported to the metrics registry by the
+// server (mellowd_traces_active, mellowd_trace_events_dropped_total).
+var (
+	activeRecorders atomic.Int64
+	droppedEvents   atomic.Uint64
+)
+
+// ActiveCount returns the number of timeline recorders currently
+// recording (created and not yet finalized).
+func ActiveCount() int64 { return activeRecorders.Load() }
+
+// DroppedCount returns the total events dropped to ring-buffer (or
+// span-buffer) overflow since process start.
+func DroppedCount() uint64 { return droppedEvents.Load() }
+
+// NewTraceID mints a 16-hex-digit trace identifier. IDs label service
+// spans and log lines; they carry no determinism obligations.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; an all-zero
+		// id keeps tracing usable regardless.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one wall-clock phase of service-side work. Args carry
+// alternating key/value pairs.
+type Span struct {
+	Name  string
+	Cat   string
+	Start time.Time
+	End   time.Time
+	Args  []string
+}
+
+// maxSpans bounds one recorder's span buffer. A job records a handful
+// of spans per simulation cell; 8192 covers the widest matrix many
+// times over. Past the bound new spans are dropped (and counted), so a
+// runaway producer cannot grow a job's trace without limit.
+const maxSpans = 8192
+
+// SpanRecorder accumulates the service spans of one trace (one mellowd
+// job). It is safe for concurrent use — matrix cells record from many
+// goroutines — and all methods are no-ops on a nil receiver.
+type SpanRecorder struct {
+	traceID string
+
+	mu      sync.Mutex
+	spans   []Span
+	dropped uint64
+}
+
+// NewSpanRecorder starts a span recorder under the given trace id
+// (empty mints a fresh one).
+func NewSpanRecorder(traceID string) *SpanRecorder {
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	return &SpanRecorder{traceID: traceID}
+}
+
+// TraceID returns the recorder's trace identifier ("" when nil).
+func (r *SpanRecorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	return r.traceID
+}
+
+// Span records one completed phase. kv holds alternating key/value
+// argument pairs; a trailing odd key is ignored.
+func (r *SpanRecorder) Span(name, cat string, start, end time.Time, kv ...string) {
+	if r == nil {
+		return
+	}
+	if end.Before(start) {
+		end = start
+	}
+	r.mu.Lock()
+	if len(r.spans) >= maxSpans {
+		r.dropped++
+		r.mu.Unlock()
+		droppedEvents.Add(1)
+		return
+	}
+	r.spans = append(r.spans, Span{Name: name, Cat: cat, Start: start, End: end, Args: kv})
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Dropped returns how many spans this recorder discarded at its bound.
+func (r *SpanRecorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// ctxKey carries a *SpanRecorder through a context.Context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying r. A nil recorder returns ctx
+// unchanged, so untraced paths stay allocation-free.
+func NewContext(ctx context.Context, r *SpanRecorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the span recorder carried by ctx, or nil.
+func FromContext(ctx context.Context) *SpanRecorder {
+	r, _ := ctx.Value(ctxKey{}).(*SpanRecorder)
+	return r
+}

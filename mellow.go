@@ -12,6 +12,7 @@ import (
 	"mellow/internal/policy"
 	"mellow/internal/sim"
 	"mellow/internal/trace"
+	"mellow/internal/xtrace"
 )
 
 // Config is the complete system configuration (Tables I and II).
@@ -74,6 +75,18 @@ const DefaultEpoch = engine.DefaultEpoch
 
 // SeriesRecord labels one simulation's epoch series for export.
 type SeriesRecord = experiments.SeriesRecord
+
+// TraceRecord labels one simulation's execution timeline for export.
+type TraceRecord = experiments.TraceRecord
+
+// SimTrace is one finalized simulation execution timeline: engine
+// phases, epochs and per-bank controller events in kernel ticks.
+type SimTrace = xtrace.SimTrace
+
+// TraceDoc bundles service spans and simulation timelines into one
+// Chrome Trace Event Format document (WriteChrome), loadable in
+// Perfetto or chrome://tracing.
+type TraceDoc = xtrace.Doc
 
 // RunObserved simulates like RunContext but samples an epoch time
 // series on the side. Results are bit-identical to an unobserved run

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# End-to-end smoke test: boot mellowd, run an observed compare matrix
-# through the HTTP API, and check the result payload is byte-identical
-# across two daemon lifetimes — the determinism contract behind content
-# addressing, exercised through the parallel job matrix and the shared
-# simulation scheduler.
+# End-to-end smoke test: boot mellowd, run an observed + traced compare
+# matrix through the HTTP API, and check the result payload is
+# byte-identical across two daemon lifetimes — the determinism contract
+# behind content addressing, exercised through the parallel job matrix
+# and the shared simulation scheduler. The job's execution trace is
+# fetched and validated as well-formed Chrome Trace Event Format.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,8 +13,9 @@ go build -o /tmp/mellowd ./cmd/mellowd
 ADDR=127.0.0.1:8078
 BASE=http://$ADDR
 # Short run lengths keep the smoke under a minute; interval_ns exercises
-# the observed path so the series bytes are compared too.
-BODY='{"kind":"compare","workloads":["gups","stream"],"policies":["Norm","BE-Mellow+SC"],"interval_ns":2000,"seed":7,"warmup":0,"detailed":200000}'
+# the observed path so the series bytes are compared too, and trace
+# records the execution timelines served at /v1/jobs/{id}/trace.
+BODY='{"kind":"compare","workloads":["gups","stream"],"policies":["Norm","BE-Mellow+SC"],"interval_ns":2000,"seed":7,"warmup":0,"detailed":200000,"trace":true}'
 
 start_daemon() {
   /tmp/mellowd -addr "$ADDR" -workers 2 -sim-budget 2 &
@@ -32,12 +34,14 @@ stop_daemon() {
 }
 
 # run_job submits BODY, polls to completion, and prints the
-# content-addressed result payload.
+# content-addressed result payload. The finished job's id is left in
+# JOB_ID so the caller can fetch its trace.
 run_job() {
   sub=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$BODY" "$BASE/v1/jobs")
   id=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$sub")
   key=$(sed -n 's/.*"key":"\([0-9a-f]\{64\}\)".*/\1/p' <<<"$sub")
   [ -n "$id" ] && [ -n "$key" ] || { echo "bad submit response: $sub" >&2; exit 1; }
+  JOB_ID=$id
   for _ in $(seq 1 600); do
     st=$(curl -fsS "$BASE/v1/jobs/$id")
     case $st in
@@ -59,6 +63,16 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
 [ "$code" = 400 ] || { echo "interval_ns floor not enforced (got $code)" >&2; exit 1; }
 
 run_job >/tmp/mellow_e2e_run1.json
+
+# The traced job serves its execution trace as a separate artifact;
+# tracecheck requires well-formed Chrome Trace Event Format JSON with
+# at least one event.
+curl -fsS "$BASE/v1/jobs/$JOB_ID/trace" >/tmp/mellow_e2e_trace.json
+go run ./scripts/tracecheck /tmp/mellow_e2e_trace.json
+
+# A job submitted without trace has no trace artifact: expect 404.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs/$JOB_ID-nope/trace")
+[ "$code" = 404 ] || { echo "unknown job trace not 404 (got $code)" >&2; exit 1; }
 
 # A fresh daemon re-simulates from scratch; equal keys must yield equal
 # bytes no matter which matrix cells finished first.

@@ -1,0 +1,65 @@
+// Command tracecheck validates a Chrome Trace Event Format file: the
+// JSON must parse, use the object form with a traceEvents array, and
+// carry at least one non-metadata event. The e2e smoke test runs it
+// (`go run ./scripts/tracecheck <file>`) against traces fetched from
+// mellowd, so a malformed export fails CI rather than a Perfetto
+// session.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// traceFile is the subset of the format the checker inspects.
+type traceFile struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string   `json:"name"`
+		Ph   string   `json:"ph"`
+		Ts   *float64 `json:"ts"`
+		PID  *int     `json:"pid"`
+		TID  *int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: tracecheck <trace.json>")
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("%s: not valid JSON: %v", os.Args[1], err)
+	}
+	if tf.DisplayTimeUnit == "" {
+		fail("%s: missing displayTimeUnit (not the object form?)", os.Args[1])
+	}
+	events := 0
+	for i, e := range tf.TraceEvents {
+		if e.Ph == "" {
+			fail("%s: event %d has no ph", os.Args[1], i)
+		}
+		if e.Ph == "M" {
+			continue // metadata carries no timestamp
+		}
+		if e.Ts == nil || e.PID == nil || e.TID == nil {
+			fail("%s: event %d (%q, ph %q) lacks ts/pid/tid", os.Args[1], i, e.Name, e.Ph)
+		}
+		events++
+	}
+	if events == 0 {
+		fail("%s: no non-metadata trace events", os.Args[1])
+	}
+	fmt.Printf("tracecheck: %s OK: %d events (%d incl. metadata)\n",
+		os.Args[1], events, len(tf.TraceEvents))
+}
