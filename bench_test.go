@@ -76,7 +76,8 @@ func BenchmarkExt6Mix(b *testing.B) {
 
 // BenchmarkSimulation measures raw simulator throughput: one full
 // (workload, policy) run per iteration, reported per simulated
-// instruction.
+// instruction and per simulated tick. scripts/benchsnap divides these
+// by ns/op into instrs/sec and simticks/sec for the committed baseline.
 func BenchmarkSimulation(b *testing.B) {
 	cfg := benchConfig()
 	spec, err := mellow.ParsePolicy("BE-Mellow+SC+WQ")
@@ -90,5 +91,6 @@ func BenchmarkSimulation(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Instructions), "instrs/op")
+		b.ReportMetric(res.Cycles, "simticks/op")
 	}
 }

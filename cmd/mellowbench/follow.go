@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"mellow/internal/server"
+)
+
+// followJob consumes a mellowd job's Server-Sent-Events feed
+// (GET /v1/jobs/{id}/events) and writes one JSON line per event to
+// stdout. The feed replays from the job's first epoch regardless of
+// when we attach, and the epoch events are byte-for-byte the series the
+// finished result embeds, so piping this to a file captures the same
+// data a result fetch would — just live. Returns an error for transport
+// failures; a job that ends in a failed event exits through os.Exit so
+// scripts can distinguish "stream worked, job failed".
+func followJob(baseURL, id string) error {
+	url := strings.TrimRight(baseURL, "/") + "/v1/jobs/" + id + "/events"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %s", url, resp.Status)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // id:/event: lines, keepalive comments, separators
+		}
+		payload := strings.TrimPrefix(line, "data: ")
+		var ev server.StreamEvent
+		if err := json.Unmarshal([]byte(payload), &ev); err != nil {
+			return fmt.Errorf("bad event payload: %v", err)
+		}
+		fmt.Fprintln(out, payload)
+		switch ev.Type {
+		case server.EventDone:
+			return nil
+		case server.EventFailed:
+			out.Flush()
+			fmt.Fprintf(os.Stderr, "mellowbench: job %s failed: %s\n", id, ev.Error)
+			os.Exit(1)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream interrupted: %v", err)
+	}
+	return fmt.Errorf("stream ended without a terminal event")
+}

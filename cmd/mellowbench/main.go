@@ -13,7 +13,14 @@
 //	mellowbench -exp fig11 -interval 500us   # per-epoch time series as JSON
 //	mellowbench -exp fig11 -metrics     # process metrics snapshot after the run
 //	mellowbench -exp fig11 -trace out.trace.json   # execution trace for Perfetto
+//	mellowbench -follow job-000001 -server http://localhost:8077
 //	mellowbench -list
+//
+// -follow switches mellowbench into client mode: it attaches to a
+// running mellowd's GET /v1/jobs/{id}/events feed and prints one JSON
+// line per event — the job's epoch series live, then the terminal
+// done/failed event. The feed replays from the start, so following a
+// finished job prints its complete series.
 //
 // -interval samples every simulation at the given period of simulated
 // time (the paper's T_sample is 500us) and dumps one JSON series record
@@ -57,9 +64,19 @@ func main() {
 		interval  = flag.Duration("interval", 0, "sample an epoch series at this period of simulated time (e.g. 500us, min 1us; 0: off)")
 		progress  = flag.Bool("progress", false, "report sweep progress on stderr")
 		traceOut  = flag.String("trace", "", "write every simulation's execution timeline to this file (Chrome Trace Event Format JSON, open in Perfetto)")
+		follow    = flag.String("follow", "", "follow a mellowd job's live event stream by id and exit (client mode)")
+		serverURL = flag.String("server", "http://localhost:8077", "mellowd base URL for -follow")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+
+	if *follow != "" {
+		if err := followJob(*serverURL, *follow); err != nil {
+			fmt.Fprintln(os.Stderr, "mellowbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Same floor mellowd enforces at admission: finer sampling than 1 µs
 	// of simulated time produces an effectively unbounded series.

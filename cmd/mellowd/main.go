@@ -9,6 +9,7 @@
 //	mellowd -addr :9000 -workers 8 -queue 64
 //	mellowd -sim-budget 4                # at most 4 concurrent simulations, any job mix
 //	mellowd -job-timeout 5m -quick
+//	mellowd -joblog /var/lib/mellowd/jobs.wal  # durable queue: replay after a crash
 //	mellowd -pprof-addr 127.0.0.1:6060   # net/http/pprof on a separate listener
 //
 // API:
@@ -16,12 +17,20 @@
 //	POST /v1/jobs        {"kind":"sim","workload":"stream","policy":"BE-Mellow+SC"}
 //	POST /v1/jobs        {"kind":"compare","workload":"gups","interval_ns":500000}
 //	POST /v1/jobs        {"kind":"sim",...,"trace":true}   # record an execution trace
+//	POST /v1/jobs:batch  {"jobs":[{...},{...}]}  # many submissions, one shed decision
 //	GET  /v1/jobs/{id}   job status: live "progress" fraction, current
 //	                     "epoch" sample, result inline when done
+//	GET  /v1/jobs/{id}/events  live Server-Sent-Events feed of the job's
+//	                     epoch series (curl -N; replays from the start)
 //	GET  /v1/jobs/{id}/trace  finished traced job's Chrome/Perfetto trace JSON
 //	GET  /v1/results/{key}  deterministic result payload by content address
 //	GET  /healthz        liveness + queue depth
 //	GET  /metrics        Prometheus text exposition
+//
+// With -joblog, every admission is fsynced to a write-ahead log before
+// it is acknowledged; on startup the log is replayed and unfinished
+// jobs re-enqueued under their original ids, so queued work survives a
+// kill -9. A clean drain compacts the log.
 //
 // Profiling is opt-in and isolated: -pprof-addr serves the standard
 // net/http/pprof handlers on its own mux and listener (bind it to
@@ -44,6 +53,7 @@ import (
 
 	"mellow/internal/config"
 	"mellow/internal/experiments"
+	"mellow/internal/joblog"
 	"mellow/internal/server"
 )
 
@@ -57,6 +67,7 @@ func main() {
 		drain      = flag.Duration("drain", 10*time.Minute, "graceful-shutdown drain budget")
 		maxResults = flag.Int("max-results", 1024, "finished jobs kept addressable")
 		simCache   = flag.Int("sim-cache", experiments.DefaultCacheCap, "memoised simulations kept (<=0 unbounded)")
+		joblogPath = flag.String("joblog", "", "write-ahead job log path; admissions are fsynced and replayed after a crash (empty: no durability)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty: disabled)")
 		quick      = flag.Bool("quick", false, "scale default run lengths down ~10x")
 	)
@@ -70,6 +81,20 @@ func main() {
 		base.Run.WarmupInstructions = 1_000_000
 		base.Run.DetailedInstructions = 3_000_000
 	}
+	var wal *joblog.Log
+	if *joblogPath != "" {
+		var err error
+		wal, err = joblog.Open(*joblogPath)
+		if err != nil {
+			log.Error("joblog open failed", "path", *joblogPath, "err", err)
+			os.Exit(1)
+		}
+		st := wal.Stats()
+		log.Info("joblog opened", "path", *joblogPath,
+			"replayed_records", st.Replayed, "pending_jobs", st.Pending,
+			"tail_dropped", st.TailDropped)
+	}
+
 	svc := server.New(server.Config{
 		Workers:    *workers,
 		SimBudget:  *simBudget,
@@ -78,7 +103,21 @@ func main() {
 		MaxResults: *maxResults,
 		BaseConfig: &base,
 		Logger:     log,
+		JobLog:     wal,
 	})
+	if wal != nil {
+		// Replay concurrently with serving: the queue may be smaller
+		// than the pending backlog, and clients re-submitting replayed
+		// work simply join it.
+		go func() {
+			n, err := svc.Restore()
+			if err != nil {
+				log.Error("joblog replay incomplete", "restored", n, "err", err)
+				return
+			}
+			log.Info("joblog replay complete", "restored", n)
+		}()
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -142,6 +181,16 @@ func main() {
 		log.Warn("drain incomplete, jobs cancelled", "err", err)
 		fmt.Fprintln(os.Stderr, "mellowd: drain incomplete:", err)
 		os.Exit(1)
+	}
+	if wal != nil {
+		// A clean drain finished everything: compaction rewrites the log
+		// down to whatever is still pending (normally nothing).
+		if err := wal.Compact(); err != nil {
+			log.Warn("joblog compaction failed", "err", err)
+		}
+		if err := wal.Close(); err != nil {
+			log.Warn("joblog close failed", "err", err)
+		}
 	}
 	log.Info("drained, bye")
 }

@@ -152,6 +152,29 @@ func TestSeriesDeterministic(t *testing.T) {
 	}
 }
 
+// TestOnEpochSamplesMatchSeries pins the streaming-determinism
+// contract at its root: the samples delivered live through OnEpoch are,
+// in order and value, exactly the series the run returns. mellowd's SSE
+// feed relays OnEpoch verbatim, so this equality is what makes a
+// streamed job byte-identical to its embedded result series.
+func TestOnEpochSamplesMatchSeries(t *testing.T) {
+	var live []engine.EpochSample
+	_, series, err := newSystem(t, "stream", "BE-Mellow+SC").RunObserved(
+		context.Background(), engine.Options{
+			Collect: true, BankDamage: true,
+			OnEpoch: func(s engine.EpochSample) { live = append(live, s) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) == 0 {
+		t.Fatal("observed run produced no samples")
+	}
+	if !reflect.DeepEqual(live, series) {
+		t.Fatalf("live OnEpoch samples differ from returned series: %d vs %d", len(live), len(series))
+	}
+}
+
 // TestSeriesContract checks the epoch determinism contract on a real
 // run: consecutive indexes, strictly increasing end ticks, adjacent
 // intervals, known phases, and monotone progress reaching 1.

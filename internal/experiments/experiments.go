@@ -374,6 +374,15 @@ type Observation struct {
 	// A memo hit or a joined in-flight run only reports completion (the
 	// simulating caller's tracker sees the intermediate samples).
 	Tracker *engine.Tracker
+	// OnEpoch, when set, is called synchronously with every epoch sample
+	// the run closes, in order — the live feed behind mellowd's SSE
+	// streaming. Like Tracker it is a per-caller observer that never
+	// enters the memo key; a memo hit or a joined in-flight run sees no
+	// live samples (callers stream the memoised series on completion
+	// instead). The samples delivered here are the same values collected
+	// into the returned series, so a live consumer and a reader of the
+	// final result observe byte-identical data.
+	OnEpoch func(engine.EpochSample)
 	// Metrics, when set, attaches a per-run metrics registry: cpu,
 	// cache, mem and wear publish their counters as collectors and the
 	// run's deterministic snapshot is memoised alongside the result.
@@ -435,6 +444,7 @@ func RunFull(ctx context.Context, cfg config.Config, spec policy.Spec, workload 
 			Collect:    ob.Epoch > 0,
 			BankDamage: ob.BankDamage,
 			Tracker:    ob.Tracker,
+			OnEpoch:    ob.OnEpoch,
 		}
 		var reg *metrics.Registry
 		if ob.Metrics {

@@ -1,0 +1,398 @@
+// Package joblog is mellowd's write-ahead job log: an append-only,
+// crash-safe file of content-addressed job lifecycle records. Every
+// admitted job is recorded (and fsynced) before the service accepts
+// it, so a kill -9 or power cut never silently drops queued work — on
+// the next start the log is replayed and every admit without a
+// matching finish or fail is re-enqueued. Because jobs are
+// content-addressed and simulations are deterministic, replaying an
+// unfinished job re-runs it to the byte-identical result the original
+// submission would have produced; re-running an already-finished job
+// whose finish record was lost (finishes are not fsynced) is merely
+// redundant work, never wrong work.
+//
+// On-disk format: consecutive CRC-framed entries, each
+//
+//	uint32 LE payload length | uint32 LE IEEE CRC-32 of payload | payload
+//
+// where the payload is one Record as JSON. Replay is tolerant: a
+// truncated tail, a torn frame, or a CRC mismatch ends the replay at
+// the last whole, checksummed entry and the file is truncated there so
+// subsequent appends continue from a clean prefix. Repeated
+// crash-replay cycles therefore converge: replaying a log, appending,
+// crashing and replaying again always reduces to the same pending set.
+package joblog
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Record types, in lifecycle order.
+const (
+	// TypeAdmit marks a job accepted into the queue. Admits carry the
+	// canonical job document and are fsynced before the submission is
+	// acknowledged — the durability barrier.
+	TypeAdmit = "admit"
+	// TypeStart marks a worker picking the job up. Informational: a
+	// started-but-unfinished job is still pending at replay.
+	TypeStart = "start"
+	// TypeFinish marks successful completion; the job's key leaves the
+	// pending set.
+	TypeFinish = "finish"
+	// TypeFail marks completion with an error (including shed-after-admit
+	// and cancellation); the key leaves the pending set — failures are
+	// not retried across restarts, only interrupted work is.
+	TypeFail = "fail"
+)
+
+// Record is one log entry. Job identity is the content address Key
+// (stable across restarts); ID is the process-local job id current when
+// the record was written, kept for correlation with request logs.
+type Record struct {
+	Seq  uint64    `json:"seq"`
+	Type string    `json:"type"`
+	Time time.Time `json:"time"`
+	ID   string    `json:"id"`
+	Key  string    `json:"key"`
+	// Job is the canonical job document (admit records only) — enough to
+	// reconstruct and re-enqueue the work without the original request.
+	Job json.RawMessage `json:"job,omitempty"`
+	// TimeoutSeconds preserves the submission's execution cap.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Error carries the failure message (fail records only).
+	Error string `json:"error,omitempty"`
+}
+
+// maxPayload bounds one entry; a canonical job document is a few KB, so
+// anything near this is framing corruption, not data.
+const maxPayload = 1 << 24
+
+// Stats reports a log's activity for telemetry.
+type Stats struct {
+	// Appended counts records written by this process since Open.
+	Appended uint64
+	// Replayed counts whole records recovered by Open's scan.
+	Replayed int
+	// Pending counts admits currently without a finish or fail.
+	Pending int
+	// TailDropped reports whether Open discarded a corrupt or truncated
+	// tail.
+	TailDropped bool
+}
+
+// Log is an open write-ahead job log. All methods are safe for
+// concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	seq      uint64
+	appended uint64
+	replayed []Record
+	dropped  bool
+
+	// Reduced pending state, maintained across appends so Compact never
+	// has to re-read the file: admits without a finish/fail, in admit
+	// order, keyed by content address.
+	pendingByKey map[string]Record
+	pendingOrder []string
+}
+
+// Open opens (creating if needed) the log at path, replays every whole
+// entry, and truncates any corrupt or torn tail so appends resume from
+// a clean prefix. The replayed records are available via Records.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{f: f, path: path, pendingByKey: map[string]Record{}}
+	recs, goodEnd, dropped, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if dropped {
+		if err := f.Truncate(goodEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("joblog: truncate corrupt tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.replayed = recs
+	l.dropped = dropped
+	for _, r := range recs {
+		if r.Seq > l.seq {
+			l.seq = r.Seq
+		}
+		l.reduce(r)
+	}
+	return l, nil
+}
+
+// scan reads whole entries until EOF or the first sign of corruption,
+// returning the records, the offset where the clean prefix ends, and
+// whether anything after it was dropped.
+func scan(f *os.File) (recs []Record, goodEnd int64, dropped bool, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, false, err
+	}
+	var off int64
+	var hdr [8]byte
+	for {
+		_, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return recs, off, dropped, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Torn header: a crash mid-append. Drop the tail.
+			return recs, off, true, nil
+		}
+		if err != nil {
+			return nil, 0, false, err
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if size == 0 || size > maxPayload {
+			// Nonsense length: corruption. Everything from here on is
+			// unframed garbage.
+			return recs, off, true, nil
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, off, true, nil
+			}
+			return nil, 0, false, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off, true, nil
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return recs, off, true, nil
+		}
+		recs = append(recs, r)
+		off += int64(8 + size)
+	}
+}
+
+// reduce folds one record into the pending state. Duplicate admits for
+// a key already pending are idempotent (the first wins — equal keys
+// mean equal canonical jobs); an admit after a finish re-opens the key.
+func (l *Log) reduce(r Record) {
+	switch r.Type {
+	case TypeAdmit:
+		if _, ok := l.pendingByKey[r.Key]; ok {
+			return
+		}
+		l.pendingByKey[r.Key] = r
+		l.pendingOrder = append(l.pendingOrder, r.Key)
+	case TypeFinish, TypeFail:
+		if _, ok := l.pendingByKey[r.Key]; ok {
+			delete(l.pendingByKey, r.Key)
+			l.pendingOrder = remove(l.pendingOrder, r.Key)
+		}
+	}
+}
+
+func remove(xs []string, x string) []string {
+	for i, v := range xs {
+		if v == x {
+			return append(xs[:i], xs[i+1:]...)
+		}
+	}
+	return xs
+}
+
+// Records returns the entries recovered by Open, in log order. The
+// slice is shared; callers must not modify it.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replayed
+}
+
+// Pending reduces records to the admits that never finished or failed,
+// in admit order, one per content address. It mirrors the reduction the
+// Log maintains internally and is exported so replay logic and tests
+// share one definition of "unfinished".
+func Pending(recs []Record) []Record {
+	byKey := map[string]Record{}
+	var order []string
+	for _, r := range recs {
+		switch r.Type {
+		case TypeAdmit:
+			if _, ok := byKey[r.Key]; ok {
+				continue
+			}
+			byKey[r.Key] = r
+			order = append(order, r.Key)
+		case TypeFinish, TypeFail:
+			if _, ok := byKey[r.Key]; ok {
+				delete(byKey, r.Key)
+				order = remove(order, r.Key)
+			}
+		}
+	}
+	out := make([]Record, 0, len(order))
+	for _, k := range order {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// Append writes recs as consecutive entries, assigning sequence numbers
+// and timestamps. When syncNow is set the write is fsynced before
+// returning — the admit durability barrier; finish and fail records
+// ride on the OS cache (losing one re-runs deterministic work, which is
+// safe). A batch shares one write and at most one fsync.
+func (l *Log) Append(syncNow bool, recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("joblog: log is closed")
+	}
+	var buf []byte
+	framed := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		l.seq++
+		r.Seq = l.seq
+		if r.Time.IsZero() {
+			r.Time = time.Now().UTC()
+		}
+		payload, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("joblog: record not serialisable: %w", err)
+		}
+		if len(payload) > maxPayload {
+			return fmt.Errorf("joblog: record payload %d bytes exceeds frame bound", len(payload))
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+		framed = append(framed, r)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("joblog: append: %w", err)
+	}
+	if syncNow {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("joblog: fsync: %w", err)
+		}
+	}
+	for _, r := range framed {
+		l.reduce(r)
+		l.appended++
+	}
+	return nil
+}
+
+// Compact rewrites the log to contain only the pending admits — the
+// records a replay would re-enqueue — dropping every finished
+// lifecycle. Called on clean shutdown, so a drained daemon leaves an
+// empty (or minimal) log instead of one that grows forever. The rewrite
+// is atomic: temp file, fsync, rename over the original.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("joblog: log is closed")
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(l.path), filepath.Base(l.path)+".compact-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var buf []byte
+	for _, k := range l.pendingOrder {
+		payload, err := json.Marshal(l.pendingByKey[k])
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(l.path))
+	// Re-open the renamed file for any appends after compaction.
+	old := l.f
+	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	old.Close()
+	l.f = f
+	return nil
+}
+
+// syncDir makes a rename durable on filesystems that need the directory
+// entry flushed; best-effort everywhere else.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Stats reports the log's activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Appended:    l.appended,
+		Replayed:    len(l.replayed),
+		Pending:     len(l.pendingOrder),
+		TailDropped: l.dropped,
+	}
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close syncs and closes the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

@@ -78,6 +78,22 @@ type JobRequest struct {
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
 
+// BatchRequest is the body of POST /v1/jobs:batch: a set of submissions
+// admitted under one shed/accept decision — either every entry is
+// answered (cache hit, join, or fresh enqueue) or the whole batch is
+// rejected 429. Fresh entries share a single fsync of the job log.
+type BatchRequest struct {
+	Jobs []JobRequest `json:"jobs"`
+}
+
+// BatchResponse is the body of a successful POST /v1/jobs:batch. Jobs
+// aligns with the request order; entries answered by the cache or by
+// joining an active job (including an earlier entry of the same batch)
+// are marked deduped.
+type BatchResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
 // Admission bounds for interval_ns.
 const (
 	// MinIntervalNS is the finest observation period accepted: 1 µs of

@@ -40,6 +40,12 @@ type jobState struct {
 
 	progress jobProgress
 
+	// stream is the job's bounded broadcast log behind
+	// GET /v1/jobs/{id}/events. Minted at admission; nil only for
+	// jobStates tests build by hand (every streamLog method is
+	// nil-safe).
+	stream *streamLog
+
 	// spans is the wall-clock span recorder, minted at admission for
 	// jobs submitted with "trace": true (nil otherwise; every recording
 	// call is nil-safe).
@@ -285,10 +291,23 @@ func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
 					}
 					js.progress.beginSim(tr)
 					cellStart := time.Now()
+					ob := experiments.Observation{Epoch: epoch, Tracker: tr,
+						Metrics: canon.Metrics, Trace: canon.Trace}
+					// streamed counts this cell's live epoch events. OnEpoch
+					// only fires when this goroutine executes the simulation
+					// itself; a memo hit or a joined in-flight run streams
+					// nothing live and flushes the whole memoised series
+					// below — either way the cell's epoch-event subsequence
+					// is exactly the series the result embeds.
+					streamed := 0
+					if epoch > 0 && js.stream != nil {
+						ob.OnEpoch = func(s engine.EpochSample) {
+							streamed++
+							js.stream.epoch(i, cl.workload, cl.policy, s)
+						}
+					}
 					var ins experiments.Instrumented
-					ins, err = experiments.RunFull(runCtx, canon.Config, cl.spec, cl.workload,
-						experiments.Observation{Epoch: epoch, Tracker: tr,
-							Metrics: canon.Metrics, Trace: canon.Trace})
+					ins, err = experiments.RunFull(runCtx, canon.Config, cl.spec, cl.workload, ob)
 					js.spans.Span("sim "+cl.workload+"/"+cl.policy, "cell",
 						cellStart, time.Now(), "workload", cl.workload, "policy", cl.policy)
 					js.progress.endSim(tr)
@@ -297,6 +316,7 @@ func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
 						if epoch > 0 {
 							series[i] = experiments.SeriesRecord{
 								Workload: cl.workload, Policy: cl.policy, Series: ins.Series}
+							js.stream.flushSeries(i, cl.workload, cl.policy, ins.Series, streamed)
 						}
 						if canon.Metrics {
 							snaps[i] = ins.Metrics
@@ -349,7 +369,14 @@ func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
 		}
 		if epoch > 0 {
 			opts.Epoch = epoch
-			opts.OnSeries = func(rec experiments.SeriesRecord) { records = append(records, rec) }
+			// Experiments deliver whole series as each simulation
+			// completes (OnSeries is serialized by the experiments layer),
+			// so the stream carries each (workload, policy) series as one
+			// contiguous run of epoch events with cell -1.
+			opts.OnSeries = func(rec experiments.SeriesRecord) {
+				records = append(records, rec)
+				js.stream.flushSeries(-1, rec.Workload, rec.Policy, rec.Series, 0)
+			}
 		}
 		if canon.Trace {
 			opts.Trace = true

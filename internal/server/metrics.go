@@ -34,6 +34,11 @@ type telemetry struct {
 
 	queueWait *metrics.Histogram    // admission → worker pickup, microseconds
 	latency   *metrics.HistogramVec // job wall time by kind, microseconds
+
+	joblogEntries *metrics.Counter // records appended to the write-ahead job log
+	replayed      *metrics.Gauge   // jobs re-enqueued from the joblog at startup
+	streamSubs    *metrics.Gauge   // live SSE subscribers across all jobs
+	streamDropped *metrics.Counter // epoch events dropped at a stream-buffer bound
 }
 
 // queueInfo reports the server's point-in-time queue occupancy for the
@@ -60,6 +65,14 @@ func newTelemetry(queue func() queueInfo) *telemetry {
 			"Time jobs spent in the admission queue before a worker picked them up.", 1e-6),
 		latency: reg.HistogramVec("mellowd_job_duration_seconds",
 			"Wall time of finished jobs by kind.", "kind", 1e-6),
+		joblogEntries: reg.Counter("mellowd_joblog_entries_total",
+			"Records appended to the write-ahead job log (admit, start, finish, fail)."),
+		replayed: reg.Gauge("mellowd_joblog_replayed_jobs",
+			"Unfinished jobs re-enqueued from the joblog at the last startup replay."),
+		streamSubs: reg.Gauge("mellowd_stream_subscribers",
+			"Live Server-Sent-Events subscribers on GET /v1/jobs/{id}/events."),
+		streamDropped: reg.Counter("mellowd_stream_events_dropped_total",
+			"Epoch events dropped at a per-job stream-buffer bound (results keep the full series)."),
 	}
 	reg.GaugeFunc("mellowd_queue_depth", "Jobs waiting in the admission queue.",
 		func() float64 { return float64(queue().depth) })

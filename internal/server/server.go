@@ -16,11 +16,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mellow/internal/config"
+	"mellow/internal/joblog"
 	"mellow/internal/metrics"
 	"mellow/internal/sched"
 	"mellow/internal/xtrace"
@@ -50,6 +52,16 @@ type Config struct {
 	// Logger receives structured request and job logs (default: slog's
 	// default logger).
 	Logger *slog.Logger
+	// JobLog, when set, is the write-ahead job log: every admission is
+	// recorded (and fsynced) before it is acknowledged, lifecycle
+	// transitions are appended as they happen, and Restore re-enqueues
+	// the log's unfinished jobs after a crash. Nil disables durability.
+	JobLog *joblog.Log
+	// StreamBuffer bounds each job's live event log for
+	// GET /v1/jobs/{id}/events (default DefaultStreamBuffer). Past the
+	// bound epoch events are dropped and counted; results always keep
+	// the full series.
+	StreamBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +83,9 @@ func (c Config) withDefaults() Config {
 	if c.BaseConfig == nil {
 		d := config.Default()
 		c.BaseConfig = &d
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = DefaultStreamBuffer
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -142,6 +157,7 @@ func (s *Server) execute(js *jobState) {
 	js.startedAt = time.Now()
 	timeout := js.timeout
 	s.mu.Unlock()
+	s.logAppend(false, joblog.Record{Type: joblog.TypeStart, ID: js.id, Key: js.key})
 	s.met.observeWait(js.startedAt.Sub(js.queuedAt))
 	s.met.running.Add(1)
 	defer s.met.running.Add(-1)
@@ -174,14 +190,40 @@ func (s *Server) execute(js *jobState) {
 	elapsed := js.finishedAt.Sub(js.startedAt)
 	s.mu.Unlock()
 	close(js.done)
+	// Seal the event stream after the status is final, so a subscriber
+	// woken by the terminal event reads a finished job.
+	js.stream.finish(js.err)
+	if err != nil {
+		s.logAppend(false, joblog.Record{Type: joblog.TypeFail, ID: js.id, Key: js.key, Error: js.err})
+	} else {
+		s.logAppend(false, joblog.Record{Type: joblog.TypeFinish, ID: js.id, Key: js.key})
+	}
 
 	js.spans.Span("run", "job", js.startedAt, js.finishedAt,
 		"kind", js.canon.Kind, "state", js.state)
 	s.met.observe(js.canon.Kind, elapsed)
+	// The content address rides on the log line so clients can re-find
+	// this work by key after a restart re-assigns process-local ids.
 	s.log.Info("job finished",
-		"id", js.id, "kind", js.canon.Kind, "state", js.state,
+		"id", js.id, "key", js.key, "kind", js.canon.Kind, "state", js.state,
 		"trace_id", js.spans.TraceID(),
 		"elapsed_ms", elapsed.Milliseconds(), "err", js.err)
+}
+
+// logAppend records lifecycle transitions in the write-ahead job log.
+// Only admits are fsynced (syncNow); losing a finish to a crash merely
+// re-runs deterministic work. Append failures are logged, never fatal —
+// availability over durability for everything past admission.
+func (s *Server) logAppend(syncNow bool, recs ...joblog.Record) error {
+	if s.cfg.JobLog == nil {
+		return nil
+	}
+	if err := s.cfg.JobLog.Append(syncNow, recs...); err != nil {
+		s.log.Error("joblog append failed", "err", err)
+		return err
+	}
+	s.met.joblogEntries.Add(uint64(len(recs)))
+	return nil
 }
 
 // evictLocked bounds the finished-job cache FIFO. Callers hold s.mu.
@@ -225,6 +267,40 @@ func (s *Server) Submit(req JobRequest) (JobStatus, int, error) {
 		return JobStatus{}, http.StatusServiceUnavailable, fmt.Errorf("server is draining")
 	}
 
+	// Capacity is checked under s.mu, and every queue sender holds s.mu
+	// (workers only drain), so a send after a passing check can never
+	// block. The old select/default raced nothing but read worse.
+	if len(s.queue) >= cap(s.queue) {
+		s.met.shed.Add(1)
+		return JobStatus{}, http.StatusTooManyRequests,
+			fmt.Errorf("queue full (%d jobs waiting)", s.cfg.QueueDepth)
+	}
+
+	js := s.newJob(canon, key, req.TimeoutSeconds)
+
+	// Durability barrier: the admit record reaches disk (fsync) before
+	// the job is enqueued or acknowledged. A crash after the 202 then
+	// finds the job in the log and replays it; a crash before loses only
+	// work the client was never promised.
+	rec, err := admitRecord(js, req)
+	if err != nil {
+		return JobStatus{}, http.StatusInternalServerError, err
+	}
+	if err := s.logAppend(true, rec); err != nil {
+		return JobStatus{}, http.StatusInternalServerError,
+			fmt.Errorf("job log write failed: %v", err)
+	}
+
+	s.queue <- js
+	s.jobs[js.id] = js
+	s.byKey[key] = js
+	s.met.accepted.Add(1)
+	return js.status(false), http.StatusAccepted, nil
+}
+
+// newJob mints a jobState with a fresh process-local id. Callers hold
+// s.mu.
+func (s *Server) newJob(canon canonicalJob, key string, timeoutSeconds float64) *jobState {
 	js := &jobState{
 		id:       fmt.Sprintf("job-%06d", s.nextID.Add(1)),
 		key:      key,
@@ -232,25 +308,228 @@ func (s *Server) Submit(req JobRequest) (JobStatus, int, error) {
 		state:    StateQueued,
 		queuedAt: time.Now(),
 		done:     make(chan struct{}),
+		stream:   newStreamLog(s.cfg.StreamBuffer, s.met.streamDropped),
 	}
-	if req.TimeoutSeconds > 0 {
-		js.timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
+	if timeoutSeconds > 0 {
+		js.timeout = time.Duration(timeoutSeconds * float64(time.Second))
 	}
 	if canon.Trace {
 		js.spans = xtrace.NewSpanRecorder("")
 	}
+	return js
+}
 
-	select {
-	case s.queue <- js:
-	default:
-		s.met.shed.Add(1)
-		return JobStatus{}, http.StatusTooManyRequests,
-			fmt.Errorf("queue full (%d jobs waiting)", s.cfg.QueueDepth)
+// admitRecord builds a job's write-ahead admit record. The original
+// request rides in the payload so replay re-normalizes it against the
+// (possibly restarted) server's base configuration.
+func admitRecord(js *jobState, req JobRequest) (joblog.Record, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return joblog.Record{}, fmt.Errorf("job not serialisable: %v", err)
 	}
-	s.jobs[js.id] = js
-	s.byKey[key] = js
-	s.met.accepted.Add(1)
-	return js.status(false), http.StatusAccepted, nil
+	return joblog.Record{
+		Type: joblog.TypeAdmit, ID: js.id, Key: js.key,
+		Job: body, TimeoutSeconds: req.TimeoutSeconds,
+	}, nil
+}
+
+// SubmitBatch admits a set of requests as one shed/accept decision:
+// either every entry is answered (by cache, by joining an active job, or
+// by a fresh enqueue) or the whole batch is rejected. Fresh entries are
+// admitted with a single fsync of all their admit records. The returned
+// statuses align with the request order; the HTTP code is 202 when
+// anything was enqueued, 200 when every entry was already answered.
+func (s *Server) SubmitBatch(breq BatchRequest) ([]JobStatus, int, error) {
+	if len(breq.Jobs) == 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("batch needs at least one job")
+	}
+	canons := make([]canonicalJob, len(breq.Jobs))
+	keys := make([]string, len(breq.Jobs))
+	for i, req := range breq.Jobs {
+		canon, key, err := normalize(req, *s.cfg.BaseConfig)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("jobs[%d]: %v", i, err)
+		}
+		canons[i], keys[i] = canon, key
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is draining")
+	}
+
+	// First pass: resolve each entry against the caches and count how
+	// many fresh jobs the batch needs, deduplicating within the batch —
+	// two identical entries cost one queue slot.
+	fresh := 0
+	inBatch := map[string]bool{}
+	for i := range breq.Jobs {
+		if prev, ok := s.byKey[keys[i]]; ok && prev.state != StateFailed {
+			continue
+		}
+		if !inBatch[keys[i]] {
+			inBatch[keys[i]] = true
+			fresh++
+		}
+	}
+	if free := cap(s.queue) - len(s.queue); fresh > free {
+		s.met.shed.Add(1)
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("batch needs %d queue slots, %d free", fresh, free)
+	}
+
+	// Second pass: mint the fresh jobs and their admit records. Nothing
+	// is published until the whole batch's records are on disk.
+	statuses := make([]JobStatus, len(breq.Jobs))
+	minted := map[string]*jobState{}
+	var newJobs []*jobState
+	var recs []joblog.Record
+	for i, req := range breq.Jobs {
+		if prev, ok := s.byKey[keys[i]]; ok && prev.state != StateFailed {
+			if prev.state == StateDone {
+				s.met.resultHit.Add(1)
+			} else {
+				s.met.deduped.Add(1)
+			}
+			statuses[i] = prev.status(true)
+			continue
+		}
+		if prev, ok := minted[keys[i]]; ok {
+			s.met.deduped.Add(1)
+			statuses[i] = prev.status(true)
+			continue
+		}
+		js := s.newJob(canons[i], keys[i], req.TimeoutSeconds)
+		rec, err := admitRecord(js, req)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("jobs[%d]: %v", i, err)
+		}
+		minted[keys[i]] = js
+		newJobs = append(newJobs, js)
+		recs = append(recs, rec)
+		statuses[i] = js.status(false)
+	}
+	if len(recs) > 0 {
+		if err := s.logAppend(true, recs...); err != nil {
+			return nil, http.StatusInternalServerError,
+				fmt.Errorf("job log write failed: %v", err)
+		}
+	}
+	for _, js := range newJobs {
+		s.queue <- js // cannot block: capacity checked above under s.mu
+		s.jobs[js.id] = js
+		s.byKey[js.key] = js
+		s.met.accepted.Add(1)
+	}
+	code := http.StatusOK
+	if len(newJobs) > 0 {
+		code = http.StatusAccepted
+	}
+	return statuses, code, nil
+}
+
+// Restore replays the write-ahead job log: every admitted-but-unfinished
+// job is re-enqueued under its original id (clients polling a pre-crash
+// id find their work again), and the id counter is seeded past the
+// largest id the previous process minted so new submissions can never
+// collide with replayed ones. Call it once after New; it may run
+// concurrently with live traffic — a client re-submitting replayed work
+// simply joins it.
+func (s *Server) Restore() (int, error) {
+	l := s.cfg.JobLog
+	if l == nil {
+		return 0, nil
+	}
+	recs := l.Records()
+
+	// Seed the id counter from every record, finished jobs included — a
+	// restart must never hand a new job an id the old process used.
+	var maxID uint64
+	for _, r := range recs {
+		if n, err := strconv.ParseUint(strings.TrimPrefix(r.ID, "job-"), 10, 64); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	for {
+		cur := s.nextID.Load()
+		if cur >= maxID || s.nextID.CompareAndSwap(cur, maxID) {
+			break
+		}
+	}
+
+	restored := 0
+	for _, rec := range joblog.Pending(recs) {
+		var req JobRequest
+		if err := json.Unmarshal(rec.Job, &req); err != nil {
+			s.log.Error("joblog: replayed admit not decodable, skipping",
+				"id", rec.ID, "err", err)
+			continue
+		}
+		canon, key, err := normalize(req, *s.cfg.BaseConfig)
+		if err != nil {
+			s.log.Error("joblog: replayed job no longer valid, skipping",
+				"id", rec.ID, "err", err)
+			continue
+		}
+		if key != rec.Key {
+			s.log.Warn("joblog: replayed job re-keyed (base config changed?)",
+				"id", rec.ID, "logged_key", rec.Key, "key", key)
+		}
+		js := &jobState{
+			id:       rec.ID,
+			key:      key,
+			canon:    canon,
+			state:    StateQueued,
+			queuedAt: time.Now(),
+			done:     make(chan struct{}),
+			stream:   newStreamLog(s.cfg.StreamBuffer, s.met.streamDropped),
+		}
+		if rec.TimeoutSeconds > 0 {
+			js.timeout = time.Duration(rec.TimeoutSeconds * float64(time.Second))
+		}
+		if canon.Trace {
+			js.spans = xtrace.NewSpanRecorder("")
+		}
+		ok, err := s.enqueueReplayed(js)
+		if err != nil {
+			return restored, err
+		}
+		if ok {
+			restored++
+			s.log.Info("joblog: job replayed", "id", js.id, "key", js.key)
+		}
+	}
+	s.met.replayed.Set(float64(restored))
+	return restored, nil
+}
+
+// enqueueReplayed admits one replayed job, waiting for queue space —
+// the log can hold more pending jobs than the queue bound, and the
+// workers are already draining it. Returns false when the job's key is
+// already active (a client beat the replay to it).
+func (s *Server) enqueueReplayed(js *jobState) (bool, error) {
+	for {
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return false, fmt.Errorf("server is draining")
+		}
+		if prev, ok := s.byKey[js.key]; ok && prev.state != StateFailed {
+			s.mu.Unlock()
+			return false, nil
+		}
+		if len(s.queue) < cap(s.queue) {
+			s.queue <- js
+			s.jobs[js.id] = js
+			s.byKey[js.key] = js
+			s.met.accepted.Add(1)
+			s.mu.Unlock()
+			return true, nil
+		}
+		s.mu.Unlock()
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // Job returns one job's status by id.
@@ -307,7 +586,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs:batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -336,6 +617,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Location", "/v1/jobs/"+st.ID)
 	writeJSON(w, code, st)
+}
+
+// handleSubmitBatch serves POST /v1/jobs:batch: many submissions, one
+// shed/accept decision, one fsync for all the fresh admits.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var breq BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil {
+		writeJSON(w, http.StatusBadRequest, APIError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	sts, code, err := s.SubmitBatch(breq)
+	if err != nil {
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, code, APIError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, code, BatchResponse{Jobs: sts})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -460,6 +762,17 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	r.bytes += n
 	return n, err
 }
+
+// Flush delegates so the SSE handler's Flusher assertion sees through
+// the logging wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.NewResponseController.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 func (s *Server) logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

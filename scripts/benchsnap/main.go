@@ -1,0 +1,206 @@
+// Command benchsnap captures a benchmark snapshot and compares it
+// against a committed baseline, so throughput regressions surface in
+// review instead of in production.
+//
+// Usage:
+//
+//	go run ./scripts/benchsnap -o BENCH_baseline.json        # (re)capture the baseline
+//	go run ./scripts/benchsnap -compare BENCH_baseline.json  # exit 2 on >10% regression
+//	go run ./scripts/benchsnap -bench 'Fig11|Simulation' -count 5
+//
+// benchsnap shells out to `go test -bench`, keeps each benchmark's best
+// (minimum ns/op) run across -count repetitions — the run least
+// disturbed by machine noise — and derives the two throughput numbers
+// the project tracks: simulated ticks per wall second and simulated
+// instructions per wall second. Comparison is on ns/op with a relative
+// threshold; CI runs it advisory (runner hardware varies) while local
+// runs treat exit 2 as a real finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's snapshot: the best observed run plus derived
+// throughput.
+type Bench struct {
+	// NsPerOp is the minimum across -count runs.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Units carries every custom metric of the best run (instrs/op,
+	// simticks/op, B/op, allocs/op, ...).
+	Units map[string]float64 `json:"units,omitempty"`
+	// SimTicksPerSec and InstrsPerSec are derived: simulated progress
+	// per wall-clock second, the project's headline throughput numbers.
+	SimTicksPerSec float64 `json:"simticks_per_sec,omitempty"`
+	InstrsPerSec   float64 `json:"instrs_per_sec,omitempty"`
+}
+
+// Snapshot is the benchsnap file format.
+type Snapshot struct {
+	GoVersion  string           `json:"go_version"`
+	Bench      string           `json:"bench"`
+	Count      int              `json:"count"`
+	Benchtime  string           `json:"benchtime"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "BenchmarkSimulation$", "benchmark regexp passed to go test -bench")
+		count     = flag.Int("count", 3, "repetitions per benchmark; the minimum ns/op run is kept")
+		benchtime = flag.String("benchtime", "2x", "go test -benchtime per run")
+		pkg       = flag.String("pkg", "mellow", "package holding the benchmarks")
+		out       = flag.String("o", "", "write the snapshot JSON here (default stdout)")
+		compare   = flag.String("compare", "", "baseline snapshot to compare against; exit 2 on regression")
+		threshold = flag.Float64("threshold", 0.10, "relative ns/op regression tolerated before exit 2")
+	)
+	flag.Parse()
+
+	snap, err := capture(*bench, *count, *benchtime, *pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	} else if *compare == "" {
+		os.Stdout.Write(b)
+	}
+
+	if *compare != "" {
+		baseRaw, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		var base Snapshot
+		if err := json.Unmarshal(baseRaw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		if regressed := diff(base, snap, *threshold); regressed {
+			os.Exit(2)
+		}
+	}
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkSimulation-8   2   123456789 ns/op   42 B/op   7 allocs/op   1.5e+06 instrs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func capture(bench string, count int, benchtime, pkg string) (Snapshot, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("go %s: %v", strings.Join(args, " "), err)
+	}
+	snap := Snapshot{
+		GoVersion: runtime.Version(), Bench: bench, Count: count,
+		Benchtime: benchtime, Benchmarks: map[string]Bench{},
+	}
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		units := map[string]float64{}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			units[fields[i+1]] = v
+		}
+		ns, ok := units["ns/op"]
+		if !ok {
+			continue
+		}
+		delete(units, "ns/op")
+		if prev, seen := snap.Benchmarks[name]; seen && prev.NsPerOp <= ns {
+			continue // keep the fastest of the -count runs
+		}
+		b := Bench{NsPerOp: ns, Units: units}
+		if ns > 0 {
+			if ticks, ok := units["simticks/op"]; ok {
+				b.SimTicksPerSec = ticks / (ns / 1e9)
+			}
+			if instrs, ok := units["instrs/op"]; ok {
+				b.InstrsPerSec = instrs / (ns / 1e9)
+			}
+		}
+		snap.Benchmarks[name] = b
+	}
+	if len(snap.Benchmarks) == 0 {
+		return snap, fmt.Errorf("no benchmark results matched %q", bench)
+	}
+	return snap, nil
+}
+
+// diff reports each shared benchmark's delta and returns true when any
+// regressed past the threshold. Benchmarks present on only one side are
+// noted, never failed — the baseline regenerates with -o when the set
+// changes.
+func diff(base, cur Snapshot, threshold float64) bool {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressed := false
+	for _, name := range names {
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("NEW   %-24s %12.0f ns/op (not in baseline)\n", name, cur.Benchmarks[name].NsPerOp)
+			continue
+		}
+		c := cur.Benchmarks[name]
+		rel := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok   "
+		if rel > threshold {
+			verdict = "SLOW "
+			regressed = true
+		} else if rel < -threshold {
+			verdict = "fast "
+		}
+		fmt.Printf("%s %-24s %12.0f -> %12.0f ns/op (%+.1f%%)", verdict, name, b.NsPerOp, c.NsPerOp, 100*rel)
+		if c.SimTicksPerSec > 0 && b.SimTicksPerSec > 0 {
+			fmt.Printf("  %.3g -> %.3g simticks/s", b.SimTicksPerSec, c.SimTicksPerSec)
+		}
+		fmt.Println()
+	}
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			fmt.Printf("GONE  %-24s (in baseline, not measured)\n", name)
+		}
+	}
+	if regressed {
+		fmt.Printf("benchsnap: regression beyond %.0f%% — investigate or regenerate the baseline with -o\n", 100*threshold)
+	}
+	return regressed
+}

@@ -5,20 +5,28 @@
 # behind content addressing, exercised through the parallel job matrix
 # and the shared simulation scheduler. The job's execution trace is
 # fetched and validated as well-formed Chrome Trace Event Format.
+# Then the durability path: a job admitted to a write-ahead job log,
+# the daemon killed -9 mid-run, and a restarted daemon replaying the
+# log to a byte-identical result; plus batch submission, the SSE event
+# stream (curl -N and mellowbench -follow), and log compaction on a
+# clean SIGTERM drain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 go build -o /tmp/mellowd ./cmd/mellowd
+go build -o /tmp/mellowbench ./cmd/mellowbench
 
 ADDR=127.0.0.1:8078
 BASE=http://$ADDR
-# Short run lengths keep the smoke under a minute; interval_ns exercises
-# the observed path so the series bytes are compared too, and trace
-# records the execution timelines served at /v1/jobs/{id}/trace.
-BODY='{"kind":"compare","workloads":["gups","stream"],"policies":["Norm","BE-Mellow+SC"],"interval_ns":2000,"seed":7,"warmup":0,"detailed":200000,"trace":true}'
+# Run lengths keep the smoke under a minute while leaving the matrix
+# slow enough (~1s wall) that the kill -9 below reliably lands mid-run;
+# interval_ns exercises the observed path so the series bytes are
+# compared too, and trace records the execution timelines served at
+# /v1/jobs/{id}/trace.
+BODY='{"kind":"compare","workloads":["gups","stream"],"policies":["Norm","BE-Mellow+SC"],"interval_ns":20000,"seed":7,"warmup":0,"detailed":3000000,"trace":true}'
 
 start_daemon() {
-  /tmp/mellowd -addr "$ADDR" -workers 2 -sim-budget 2 &
+  /tmp/mellowd -addr "$ADDR" -workers 2 -sim-budget 2 "$@" &
   DAEMON=$!
   for _ in $(seq 1 100); do
     curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return
@@ -88,4 +96,77 @@ grep -q '"series"' /tmp/mellow_e2e_run1.json || {
   echo "observed job result carries no series" >&2
   exit 1
 }
-echo "e2e smoke OK: $(wc -c </tmp/mellow_e2e_run1.json) identical bytes across restarts"
+
+# ---- durability: kill -9 mid-run, replay from the write-ahead log ----
+stop_daemon
+WAL=/tmp/mellow_e2e_jobs.wal
+rm -f "$WAL"
+start_daemon -joblog "$WAL"
+
+# Admit one job (the admit record is fsynced before the 202 comes back)
+# and kill the daemon hard before the multi-second matrix can finish.
+sub=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$BODY" "$BASE/v1/jobs")
+key=$(sed -n 's/.*"key":"\([0-9a-f]\{64\}\)".*/\1/p' <<<"$sub")
+id=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$sub")
+[ -n "$key" ] && [ -n "$id" ] || { echo "bad submit response: $sub" >&2; exit 1; }
+kill -9 "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+[ -s "$WAL" ] || { echo "joblog empty after admitted job" >&2; exit 1; }
+
+# A restarted daemon replays the log and re-runs the job to completion;
+# the replayed result must be byte-identical to the undisturbed runs.
+start_daemon -joblog "$WAL"
+for _ in $(seq 1 600); do
+  if curl -fsS "$BASE/v1/results/$key" >/tmp/mellow_e2e_replay.json 2>/dev/null; then
+    break
+  fi
+  sleep 0.5
+done
+cmp /tmp/mellow_e2e_run1.json /tmp/mellow_e2e_replay.json || {
+  echo "replayed result differs from the undisturbed run" >&2
+  exit 1
+}
+
+# The replayed job kept its pre-crash id, and its SSE feed replays the
+# full epoch series followed by the terminal done event.
+curl -fsSN --max-time 30 "$BASE/v1/jobs/$id/events" >/tmp/mellow_e2e_events.txt
+grep -q '^event: epoch$' /tmp/mellow_e2e_events.txt || {
+  echo "event stream carries no epoch events" >&2
+  exit 1
+}
+tail -n 4 /tmp/mellow_e2e_events.txt | grep -q '^event: done$' || {
+  echo "event stream did not terminate with done" >&2
+  exit 1
+}
+# mellowbench -follow consumes the same stream as JSON lines.
+/tmp/mellowbench -follow "$id" -server "$BASE" >/tmp/mellow_e2e_follow.jsonl
+grep -q '"type":"epoch"' /tmp/mellow_e2e_follow.jsonl || {
+  echo "mellowbench -follow printed no epoch events" >&2
+  exit 1
+}
+
+# Batch submission: two jobs, one decision — 202 when fresh, 200 when
+# the repeat is answered entirely from the caches.
+BATCH='{"jobs":[{"kind":"sim","workload":"stream","policy":"Norm","seed":7,"warmup":0,"detailed":100000},{"kind":"sim","workload":"gups","policy":"Norm","seed":7,"warmup":0,"detailed":100000}]}'
+code=$(curl -s -o /tmp/mellow_e2e_batch.json -w '%{http_code}' -X POST \
+  -H 'Content-Type: application/json' -d "$BATCH" "$BASE/v1/jobs:batch")
+[ "$code" = 202 ] || { echo "fresh batch not 202 (got $code)" >&2; exit 1; }
+bid=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' /tmp/mellow_e2e_batch.json | head -1)
+for _ in $(seq 1 600); do
+  st=$(curl -fsS "$BASE/v1/jobs/$bid")
+  case $st in *'"state":"done"'*) break ;; *'"state":"failed"'*) echo "batch job failed: $st" >&2; exit 1 ;; esac
+  sleep 0.5
+done
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -H 'Content-Type: application/json' -d "$BATCH" "$BASE/v1/jobs:batch")
+[ "$code" = 200 ] || { echo "repeat batch not 200 (got $code)" >&2; exit 1; }
+
+# A clean SIGTERM drain finishes everything and compacts the log to
+# empty — the next boot has nothing to replay.
+stop_daemon
+[ -f "$WAL" ] && [ ! -s "$WAL" ] || {
+  echo "joblog not compacted to empty after clean drain ($(wc -c <"$WAL") bytes)" >&2
+  exit 1
+}
+
+echo "e2e smoke OK: $(wc -c </tmp/mellow_e2e_run1.json) identical bytes across restarts and a kill -9 replay"
