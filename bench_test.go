@@ -27,6 +27,7 @@ var benchSuite = []string{"stream", "lbm", "gups"}
 func runExperiment(b *testing.B, id string, workloads ...string) {
 	b.Helper()
 	cfg := benchConfig()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		// A fresh seed per iteration defeats the sweep memoiser, so every
 		// iteration performs real simulation work.
@@ -66,6 +67,7 @@ func BenchmarkExt6Mix(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg.Run.Seed = uint64(i + 1)
 		if _, err := mellow.RunMix(cfg, spec, "stream", "gups"); err != nil {

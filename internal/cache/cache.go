@@ -12,65 +12,33 @@ import (
 	"mellow/internal/config"
 )
 
-// line is one cache line. Lines store the full line address (byte address
-// >> 6) rather than a set-relative tag; comparisons are equally cheap and
-// reverse mapping for eager write-back is free.
-type line struct {
-	addr       uint64
-	valid      bool
-	dirty      bool
-	eagerClean bool   // cleaned by an eager mellow write-back, not re-dirtied yet
-	lastTouch  uint64 // value of the cache's access counter at last demand use
-}
+// Line state bits in the flags array.
+const (
+	flagValid      = 1 << iota
+	flagDirty      // holds data memory has not seen
+	flagEagerClean // cleaned by an eager mellow write-back, not re-dirtied yet
+)
 
-// set is one associativity set, ordered MRU (index 0) → LRU (index
-// ways-1). The index of a line is exactly its LRU stack position, which
-// the LLC profiler depends on (§IV-B1).
-type set struct {
-	ways []line
-}
-
-// find returns the way index (LRU stack position) holding addr, or -1.
-func (s *set) find(addr uint64) int {
-	for i := range s.ways {
-		if s.ways[i].valid && s.ways[i].addr == addr {
-			return i
-		}
-	}
-	return -1
-}
-
-// touch moves the line at position i to MRU and returns a pointer to it.
-func (s *set) touch(i int) *line {
-	l := s.ways[i]
-	copy(s.ways[1:i+1], s.ways[:i])
-	s.ways[0] = l
-	return &s.ways[0]
-}
-
-// insert places a new line at MRU, returning the evicted victim (valid
-// only if the set was full of valid lines).
-func (s *set) insert(l line) (victim line) {
-	// Prefer filling an invalid way; the LRU-most invalid way is as good
-	// as any.
-	for i := len(s.ways) - 1; i >= 0; i-- {
-		if !s.ways[i].valid {
-			copy(s.ways[1:i+1], s.ways[:i])
-			s.ways[0] = l
-			return line{}
-		}
-	}
-	victim = s.ways[len(s.ways)-1]
-	copy(s.ways[1:], s.ways[:len(s.ways)-1])
-	s.ways[0] = l
-	return victim
-}
-
-// Cache is one cache level.
+// Cache is one cache level. Lines live in flat struct-of-arrays storage:
+// slot set*ways+i holds the line at LRU stack position i of that set, so
+// a line's slot offset within its set IS its stack position — which the
+// LLC profiler depends on (§IV-B1). An LRU touch shifts a few array
+// entries instead of reordering a slice of 32-byte structs, and the whole
+// level is three allocations instead of one per set.
+//
+// Lines store the full line address (byte address >> 6) rather than a
+// set-relative tag; comparisons are equally cheap and reverse mapping for
+// eager write-back is free.
 type Cache struct {
-	cfg      config.Cache
-	sets     []set
-	setMask  uint64
+	cfg     config.Cache
+	ways    int
+	nsets   int
+	setMask uint64
+
+	addrs []uint64 // line address per slot
+	last  []uint64 // access-clock value at last demand use, per slot
+	flags []uint8  // flagValid | flagDirty | flagEagerClean, per slot
+
 	hits     uint64
 	misses   uint64
 	acc      uint64
@@ -84,18 +52,53 @@ type Cache struct {
 // New builds a cache level from its configuration.
 func New(cfg config.Cache) *Cache {
 	nsets := cfg.Sets()
-	c := &Cache{cfg: cfg, sets: make([]set, nsets), setMask: uint64(nsets - 1)}
-	for i := range c.sets {
-		c.sets[i].ways = make([]line, cfg.Ways)
+	n := nsets * cfg.Ways
+	return &Cache{
+		cfg:     cfg,
+		ways:    cfg.Ways,
+		nsets:   nsets,
+		setMask: uint64(nsets - 1),
+		addrs:   make([]uint64, n),
+		last:    make([]uint64, n),
+		flags:   make([]uint8, n),
 	}
-	return c
 }
 
-// setFor returns the set for a line address.
-func (c *Cache) setFor(addr uint64) *set { return &c.sets[addr&c.setMask] }
+// base returns the first slot of the set holding addr.
+func (c *Cache) base(addr uint64) int { return int(addr&c.setMask) * c.ways }
+
+// find returns the stack position holding addr within the set at base,
+// or -1. This is the hottest loop in the simulator; it reads only the
+// two small per-set array stripes.
+func (c *Cache) find(base int, addr uint64) int {
+	for i := 0; i < c.ways; i++ {
+		if c.addrs[base+i] == addr && c.flags[base+i]&flagValid != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// touch moves the line at stack position i of the set at base to MRU.
+func (c *Cache) touch(base, i int) {
+	a, la, f := c.addrs[base+i], c.last[base+i], c.flags[base+i]
+	copy(c.addrs[base+1:base+i+1], c.addrs[base:base+i])
+	copy(c.last[base+1:base+i+1], c.last[base:base+i])
+	copy(c.flags[base+1:base+i+1], c.flags[base:base+i])
+	c.addrs[base], c.last[base], c.flags[base] = a, la, f
+}
+
+// shiftIn pushes positions [0,i) of the set at base down one and writes
+// the new line at MRU.
+func (c *Cache) shiftIn(base, i int, addr, last uint64, flags uint8) {
+	copy(c.addrs[base+1:base+i+1], c.addrs[base:base+i])
+	copy(c.last[base+1:base+i+1], c.last[base:base+i])
+	copy(c.flags[base+1:base+i+1], c.flags[base:base+i])
+	c.addrs[base], c.last[base], c.flags[base] = addr, last, flags
+}
 
 // Ways returns the associativity.
-func (c *Cache) Ways() int { return c.cfg.Ways }
+func (c *Cache) Ways() int { return c.ways }
 
 // Config returns the level's configuration.
 func (c *Cache) Config() config.Cache { return c.cfg }
@@ -115,8 +118,8 @@ func (c *Cache) DirtyEvictions() uint64 { return c.dirtyEv }
 // an eager write-back had cleaned (a wasted eager write).
 func (c *Cache) lookup(addr uint64, write bool) (hit, wasEagerClean bool) {
 	c.acc++
-	s := c.setFor(addr)
-	i := s.find(addr)
+	base := c.base(addr)
+	i := c.find(base, addr)
 	if i < 0 {
 		c.misses++
 		if c.profiler != nil {
@@ -128,13 +131,12 @@ func (c *Cache) lookup(addr uint64, write bool) (hit, wasEagerClean bool) {
 	if c.profiler != nil {
 		c.profiler.hit[i]++
 	}
-	l := s.touch(i)
+	c.touch(base, i)
 	c.touches++
-	l.lastTouch = c.touches
+	c.last[base] = c.touches
 	if write {
-		wasEagerClean = l.eagerClean
-		l.dirty = true
-		l.eagerClean = false
+		wasEagerClean = c.flags[base]&flagEagerClean != 0
+		c.flags[base] = c.flags[base]&^flagEagerClean | flagDirty
 	}
 	return true, wasEagerClean
 }
@@ -145,44 +147,58 @@ func (c *Cache) lookup(addr uint64, write bool) (hit, wasEagerClean bool) {
 func (c *Cache) install(addr uint64, dirty bool) (victimAddr uint64, victimValid, victimDirty bool) {
 	c.fills++
 	c.touches++
-	v := c.setFor(addr).insert(line{addr: addr, valid: true, dirty: dirty, lastTouch: c.touches})
-	if v.valid {
-		c.evicts++
-		if v.dirty {
-			c.dirtyEv++
+	f := uint8(flagValid)
+	if dirty {
+		f |= flagDirty
+	}
+	base := c.base(addr)
+	// Prefer filling an invalid way; the LRU-most invalid way is as good
+	// as any.
+	for i := c.ways - 1; i >= 0; i-- {
+		if c.flags[base+i]&flagValid == 0 {
+			c.shiftIn(base, i, addr, c.touches, f)
+			return 0, false, false
 		}
 	}
-	return v.addr, v.valid, v.dirty
+	victimAddr = c.addrs[base+c.ways-1]
+	victimDirty = c.flags[base+c.ways-1]&flagDirty != 0
+	c.shiftIn(base, c.ways-1, addr, c.touches, f)
+	c.evicts++
+	if victimDirty {
+		c.dirtyEv++
+	}
+	return victimAddr, true, victimDirty
 }
 
 // mergeWriteback handles a dirty line arriving from the level above: on
 // hit the existing copy is dirtied (without promoting to MRU — a
 // write-back is not a demand use); on miss the caller must install.
 func (c *Cache) mergeWriteback(addr uint64) bool {
-	s := c.setFor(addr)
-	if i := s.find(addr); i >= 0 {
-		s.ways[i].dirty = true
-		s.ways[i].eagerClean = false
+	base := c.base(addr)
+	if i := c.find(base, addr); i >= 0 {
+		c.flags[base+i] = c.flags[base+i]&^flagEagerClean | flagDirty
 		return true
 	}
 	return false
 }
 
 // invalidate removes addr if present, reporting whether the dropped copy
-// was dirty (the caller merges that into the outgoing write-back).
+// was dirty (the caller merges that into the outgoing write-back). The
+// hole stays at the line's stack position until an install shifts past
+// it, exactly like the pre-flattening slice implementation.
 func (c *Cache) invalidate(addr uint64) (present, dirty bool) {
-	s := c.setFor(addr)
-	i := s.find(addr)
+	base := c.base(addr)
+	i := c.find(base, addr)
 	if i < 0 {
 		return false, false
 	}
-	dirty = s.ways[i].dirty
-	s.ways[i] = line{}
+	dirty = c.flags[base+i]&flagDirty != 0
+	c.addrs[base+i], c.last[base+i], c.flags[base+i] = 0, 0, 0
 	return true, dirty
 }
 
 // contains reports whether addr is cached (tests and invariants).
-func (c *Cache) contains(addr uint64) bool { return c.setFor(addr).find(addr) >= 0 }
+func (c *Cache) contains(addr uint64) bool { return c.find(c.base(addr), addr) >= 0 }
 
 // ResetStats zeroes the demand counters (end of warmup). Profiler counts
 // are left alone: the profiler follows its own sampling periods.
@@ -193,16 +209,14 @@ func (c *Cache) ResetStats() {
 // DirtyLines counts dirty lines currently resident (tests).
 func (c *Cache) DirtyLines() int {
 	n := 0
-	for si := range c.sets {
-		for _, l := range c.sets[si].ways {
-			if l.valid && l.dirty {
-				n++
-			}
+	for _, f := range c.flags {
+		if f&(flagValid|flagDirty) == flagValid|flagDirty {
+			n++
 		}
 	}
 	return n
 }
 
 func (c *Cache) String() string {
-	return fmt.Sprintf("cache{%dKB %d-way, %d sets}", c.cfg.SizeBytes>>10, c.cfg.Ways, len(c.sets))
+	return fmt.Sprintf("cache{%dKB %d-way, %d sets}", c.cfg.SizeBytes>>10, c.cfg.Ways, c.nsets)
 }

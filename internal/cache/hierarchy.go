@@ -125,13 +125,13 @@ func (h *Hierarchy) installL2(addr uint64, dirty bool) {
 // write-backs (a dirty line landing on a copy an eager write had
 // cleaned means that eager write was wasted, §VI-D).
 func (h *Hierarchy) writebackToL3(addr uint64) {
-	s := h.L3.setFor(addr)
-	if i := s.find(addr); i >= 0 {
-		if s.ways[i].eagerClean {
+	l3 := h.L3
+	base := l3.base(addr)
+	if i := l3.find(base, addr); i >= 0 {
+		if l3.flags[base+i]&flagEagerClean != 0 {
 			h.wastedEager++
 		}
-		s.ways[i].dirty = true
-		s.ways[i].eagerClean = false
+		l3.flags[base+i] = l3.flags[base+i]&^flagEagerClean | flagDirty
 		return
 	}
 	h.installL3(addr, true)

@@ -19,15 +19,14 @@ const (
 // LLC accesses) exceeds threshold. The chosen line is marked clean but
 // stays resident, exactly like the LRU-profile scheme.
 func (c *Cache) EagerCandidateDecay(src *rng.Source, threshold uint64) (addr uint64, ok bool) {
-	s := &c.sets[src.Uintn(uint64(len(c.sets)))]
+	base := int(src.Uintn(uint64(c.nsets))) * c.ways
 	best := -1
 	var bestAge uint64
-	for i := range s.ways {
-		l := &s.ways[i]
-		if !l.valid || !l.dirty {
+	for i := 0; i < c.ways; i++ {
+		if c.flags[base+i]&(flagValid|flagDirty) != flagValid|flagDirty {
 			continue
 		}
-		age := c.touches - l.lastTouch
+		age := c.touches - c.last[base+i]
 		if age > threshold && age > bestAge {
 			best, bestAge = i, age
 		}
@@ -35,10 +34,8 @@ func (c *Cache) EagerCandidateDecay(src *rng.Source, threshold uint64) (addr uin
 	if best < 0 {
 		return 0, false
 	}
-	l := &s.ways[best]
-	l.dirty = false
-	l.eagerClean = true
-	return l.addr, true
+	c.flags[base+best] = c.flags[base+best]&^flagDirty | flagEagerClean
+	return c.addrs[base+best], true
 }
 
 // Touches returns the cache's logical access clock (tests).

@@ -82,16 +82,15 @@ func (c *Cache) EagerCandidate(src *rng.Source) (addr uint64, ok bool) {
 	if p == nil {
 		panic("cache: EagerCandidate on a level without a profiler")
 	}
-	if p.eagerPos >= c.cfg.Ways {
+	if p.eagerPos >= c.ways {
 		return 0, false
 	}
-	s := &c.sets[src.Uintn(uint64(len(c.sets)))]
-	for i := len(s.ways) - 1; i >= p.eagerPos; i-- {
-		l := &s.ways[i]
-		if l.valid && l.dirty {
-			l.dirty = false
-			l.eagerClean = true
-			return l.addr, true
+	base := int(src.Uintn(uint64(c.nsets))) * c.ways
+	for i := c.ways - 1; i >= p.eagerPos; i-- {
+		f := c.flags[base+i]
+		if f&(flagValid|flagDirty) == flagValid|flagDirty {
+			c.flags[base+i] = f&^flagDirty | flagEagerClean
+			return c.addrs[base+i], true
 		}
 	}
 	return 0, false
@@ -100,7 +99,7 @@ func (c *Cache) EagerCandidate(src *rng.Source) (addr uint64, ok bool) {
 // AttachProfiler makes this cache level the LLC: demand accesses update
 // the LRU-position counters and EagerCandidate becomes available.
 func (c *Cache) AttachProfiler(ratio float64) *Profiler {
-	c.profiler = NewProfiler(c.cfg.Ways, ratio)
+	c.profiler = NewProfiler(c.ways, ratio)
 	return c.profiler
 }
 

@@ -26,6 +26,80 @@ type pendingLoad struct {
 	fallback sim.Tick     // completion time when req is nil
 }
 
+// loadRing is the FIFO of ROB-resident loads, backed by a reusable
+// power-of-two ring. The previous plain-slice FIFO re-sliced on every
+// pop, so each later append reallocated — one allocation per retired
+// load; the ring allocates only when the ROB's high-water mark grows.
+type loadRing struct {
+	buf  []pendingLoad
+	head int
+	n    int
+}
+
+func (r *loadRing) len() int              { return r.n }
+func (r *loadRing) front() *pendingLoad   { return &r.buf[r.head] }
+func (r *loadRing) at(i int) *pendingLoad { return &r.buf[(r.head+i)&(len(r.buf)-1)] }
+func (r *loadRing) popFront() (p pendingLoad) {
+	p = r.buf[r.head]
+	r.buf[r.head] = pendingLoad{} // drop the *mem.Request reference
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+func (r *loadRing) pushBack(p pendingLoad) {
+	if r.n == len(r.buf) {
+		nb := make([]pendingLoad, max(16, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf, r.head = nb, 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+// reqRing mirrors the subsequence of ROB-resident loads that carry a
+// memory request, in the same FIFO order. The MSHR occupancy checks run
+// once per step (and once per stall iteration); scanning just the
+// req-bearing loads instead of the whole ROB window turns the dominant
+// per-step cost into a walk over at most a few MSHRs' worth of entries.
+type reqRing struct {
+	buf  []*mem.Request
+	head int
+	n    int
+}
+
+func (r *reqRing) popFront() {
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+}
+
+func (r *reqRing) pushBack(q *mem.Request) {
+	if r.n == len(r.buf) {
+		nb := make([]*mem.Request, max(16, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf, r.head = nb, 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = q
+	r.n++
+}
+
+// pending counts entries whose request has not completed.
+func (r *reqRing) pending() int {
+	n := 0
+	mask := len(r.buf) - 1
+	for i := 0; i < r.n; i++ {
+		if !r.buf[(r.head+i)&mask].Done() {
+			n++
+		}
+	}
+	return n
+}
+
 // Core drives the cache hierarchy and memory controller from a workload
 // trace. One tick is one core cycle.
 type Core struct {
@@ -39,10 +113,11 @@ type Core struct {
 	loadMSHRs int // demand loads (L1 miss-status file)
 	mshrLimit int // every outstanding memory read (LLC MSHRs)
 
-	cycles  float64 // dispatch/retire cursor, in cycles (= ticks)
-	instrs  uint64
-	loads   []pendingLoad  // FIFO of ROB-resident loads
-	fetches []*mem.Request // store-allocate fetches (MSHR only)
+	cycles   float64 // dispatch/retire cursor, in cycles (= ticks)
+	instrs   uint64
+	loads    loadRing       // FIFO of ROB-resident loads
+	loadReqs reqRing        // the req-bearing subsequence of loads
+	fetches  []*mem.Request // store-allocate fetches (MSHR only)
 	// Dependence chain state: the most recent load is either a resolved
 	// completion time or a still-pending memory request.
 	lastLoad    sim.Tick
@@ -83,8 +158,8 @@ func (c *Core) complete(p pendingLoad) sim.Tick {
 // sweep retires finished loads and fetches from the head of the queues
 // without waiting.
 func (c *Core) sweep() {
-	for len(c.loads) > 0 {
-		p := c.loads[0]
+	for c.loads.len() > 0 {
+		p := c.loads.front()
 		if p.req != nil {
 			if !p.req.Done() {
 				break
@@ -92,7 +167,7 @@ func (c *Core) sweep() {
 		} else if p.fallback > c.now() {
 			break
 		}
-		c.loads = c.loads[1:]
+		c.popLoad()
 	}
 	keep := c.fetches[:0]
 	for _, r := range c.fetches {
@@ -104,26 +179,21 @@ func (c *Core) sweep() {
 }
 
 // loadsOutstanding counts unfinished demand loads that went to memory.
-func (c *Core) loadsOutstanding() int {
-	n := 0
-	for _, p := range c.loads {
-		if p.req != nil && !p.req.Done() {
-			n++
-		}
-	}
-	return n
-}
+func (c *Core) loadsOutstanding() int { return c.loadReqs.pending() }
 
 // memOutstanding counts LLC MSHR occupancy: demand loads, store-allocate
 // fetches and prefetches share the miss-status file.
 func (c *Core) memOutstanding() int {
-	n := len(c.fetches) + c.prefetchOutstanding()
-	for _, p := range c.loads {
-		if p.req != nil && !p.req.Done() {
-			n++
-		}
+	return len(c.fetches) + c.prefetchOutstanding() + c.loadReqs.pending()
+}
+
+// popLoad retires the FIFO head, keeping the req-bearing mirror in step.
+func (c *Core) popLoad() pendingLoad {
+	p := c.loads.popFront()
+	if p.req != nil {
+		c.loadReqs.popFront()
 	}
-	return n
+	return p
 }
 
 // stallFor advances the pipeline cursor to t if it is ahead.
@@ -173,10 +243,8 @@ func (c *Core) step() {
 
 	// ROB: the window cannot move past an incomplete load that is
 	// ROBEntries behind the dispatch point.
-	for len(c.loads) > 0 && c.loads[0].num+c.robSize <= c.instrs {
-		p := c.loads[0]
-		c.loads = c.loads[1:]
-		c.stallFor(c.complete(p))
+	for c.loads.len() > 0 && c.loads.front().num+c.robSize <= c.instrs {
+		c.stallFor(c.complete(c.popLoad()))
 	}
 
 	// MSHRs. Demand loads are bounded by the L1 miss-status file; the
@@ -184,16 +252,12 @@ func (c *Core) step() {
 	// by the LLC's (stores and prefetches bypass the L1 MSHRs: stores
 	// retire into write buffers, prefetches train at the LLC).
 	for c.loadsOutstanding() >= c.loadMSHRs {
-		p := c.loads[0]
-		c.loads = c.loads[1:]
-		c.stallFor(c.complete(p))
+		c.stallFor(c.complete(c.popLoad()))
 		c.sweep()
 	}
 	for c.memOutstanding() >= c.mshrLimit {
-		if len(c.loads) > 0 && c.loads[0].req != nil {
-			p := c.loads[0]
-			c.loads = c.loads[1:]
-			c.stallFor(c.complete(p))
+		if c.loads.len() > 0 && c.loads.front().req != nil {
+			c.stallFor(c.complete(c.popLoad()))
 		} else if len(c.fetches) > 0 {
 			c.ctl.WaitRead(c.fetches[0])
 			c.fetches = c.fetches[1:]
@@ -239,11 +303,12 @@ func (c *Core) step() {
 		c.fetches = append(c.fetches, r)
 	case res.Fetch:
 		r := c.demandRead(res.FetchAddr)
-		c.loads = append(c.loads, pendingLoad{num: c.instrs, req: r})
+		c.loads.pushBack(pendingLoad{num: c.instrs, req: r})
+		c.loadReqs.pushBack(r)
 		c.lastLoadReq = r
 	case !op.Write && res.Hit != cache.LevelL1:
 		done := c.now() + sim.Tick(latency)
-		c.loads = append(c.loads, pendingLoad{num: c.instrs, fallback: done})
+		c.loads.pushBack(pendingLoad{num: c.instrs, fallback: done})
 		c.lastLoad, c.lastLoadReq = done, nil
 	case !op.Write:
 		c.lastLoad, c.lastLoadReq = c.now()+sim.Tick(latency), nil

@@ -211,6 +211,27 @@ type Engine struct {
 	prevMem    mem.ProbeCounters
 	series     []EpochSample
 	tracker    *Tracker
+	pool       epochPool
+}
+
+// epochPool hands out EpochSamples in chunks. Tracker.publish retains a
+// pointer to the last closed sample and concurrent readers may still
+// hold older ones, so slots are pointer-stable and never recycled within
+// a run; the chunking just batches what used to be one heap allocation
+// per epoch into one per chunk of samples.
+type epochPool struct {
+	chunk []EpochSample
+	n     int
+}
+
+func (p *epochPool) alloc() *EpochSample {
+	if p.n == len(p.chunk) {
+		p.chunk = make([]EpochSample, 128)
+		p.n = 0
+	}
+	s := &p.chunk[p.n]
+	p.n++
+	return s
 }
 
 // New wires an engine over an assembled system. The components must all
@@ -258,7 +279,8 @@ func (e *Engine) sampleEpoch(now sim.Tick) {
 	dCache := curCache.Delta(e.prevCache)
 	dMem := curMem.Delta(e.prevMem)
 
-	s := EpochSample{
+	s := e.pool.alloc()
+	*s = EpochSample{
 		Epoch:         e.epochIdx,
 		Phase:         e.phase,
 		Start:         e.prevEnd,
@@ -297,11 +319,11 @@ func (e *Engine) sampleEpoch(now sim.Tick) {
 	e.prevEnd = now
 	e.prevCPU, e.prevCache, e.prevMem = curCPU, curCache, curMem
 	if e.opts.Collect {
-		e.series = append(e.series, s)
+		e.series = append(e.series, *s)
 	}
-	e.tracker.publish(&s)
+	e.tracker.publish(s)
 	if e.opts.OnEpoch != nil {
-		e.opts.OnEpoch(s)
+		e.opts.OnEpoch(*s)
 	}
 }
 

@@ -34,6 +34,24 @@ const resumePenalty = sim.MemCycle
 // a line address, or ok=false when no useless dirty line is available.
 type EagerSource func() (line uint64, ok bool)
 
+// Controller event opcodes. All controller events go through one typed
+// sim.Handler (the controller itself) so the kernel never allocates a
+// closure per event: the payload word a packs opcode, bank and issue
+// generation, and b carries the request's arena index.
+const (
+	opSched    = iota // run trySchedule for a bank
+	opComplete        // finish the bank's current operation
+	opReadDone        // a read's data burst arrived
+	opPump            // refill the Eager Mellow Queue
+	opQuota           // close a Wear Quota sample period
+)
+
+// evWord packs an event payload: opcode in bits 0..7, bank in bits
+// 8..31, issue generation in bits 32..63.
+func evWord(op, bank, gen int) uint64 {
+	return uint64(op) | uint64(bank)<<8 | uint64(gen)<<32
+}
+
 // bankState is the per-bank timing and row-buffer state.
 type bankState struct {
 	cur            *Request
@@ -44,6 +62,13 @@ type bankState struct {
 	openValid      bool
 	openTag        uint64
 	busy           stats.BusyMeter
+
+	// wakeAt is the bank's precomputed next-wakeup tick: the tick of the
+	// pending opSched event when wakeSet. Duplicate same-tick wakeups are
+	// suppressed at the source, so an idle bank costs nothing — no event
+	// traffic, no scans.
+	wakeAt  sim.Tick
+	wakeSet bool
 }
 
 // Controller is the resistive-memory controller. It is single-threaded
@@ -60,7 +85,8 @@ type Controller struct {
 	linesPerBuf   uint64
 	blocksPerBank int64
 
-	readQ, writeQ, eagerQ []*Request
+	arena                 reqArena
+	readQ, writeQ, eagerQ reqQueue
 
 	draining   bool
 	drainMeter stats.Toggle
@@ -127,6 +153,9 @@ func New(k *sim.Kernel, cfg config.Memory, spec policy.Spec) *Controller {
 		rankActIdx:    make([]int, cfg.TotalRanks()),
 		rankActN:      make([]int, cfg.TotalRanks()),
 	}
+	c.readQ.init(nb)
+	c.writeQ.init(nb)
+	c.eagerQ.init(nb)
 	c.meters = make([]*wear.Meter, nb)
 	c.quotas = make([]*wear.Quota, nb)
 	c.gaps = make([]*wear.StartGap, nb)
@@ -137,7 +166,7 @@ func New(k *sim.Kernel, cfg config.Memory, spec policy.Spec) *Controller {
 		c.gaps[b] = wear.NewStartGap(c.blocksPerBank, cfg.StartGapPsi)
 	}
 	if spec.WearQuota {
-		c.k.After(spec.QuotaPeriod, c.quotaTick)
+		c.k.AfterEvent(spec.QuotaPeriod, c, evWord(opQuota, 0, 0), 0)
 		// Period 0 starts immediately with zero history.
 		for _, q := range c.quotas {
 			q.StartPeriod(0)
@@ -153,13 +182,38 @@ func New(k *sim.Kernel, cfg config.Memory, spec policy.Spec) *Controller {
 func (c *Controller) SetEagerSource(src EagerSource) {
 	c.eagerSource = src
 	if c.spec.Eager {
-		c.k.After(eagerPumpInterval, c.eagerPump)
+		c.k.AfterEvent(eagerPumpInterval, c, evWord(opPump, 0, 0), 0)
 	}
 }
 
 // SetTrace attaches (or detaches, nil) the execution-timeline
 // recorder. The engine installs it before a traced run starts.
 func (c *Controller) SetTrace(r *xtrace.Recorder) { c.trace = r }
+
+// OnEvent dispatches the controller's typed kernel events (sim.Handler).
+func (c *Controller) OnEvent(now sim.Tick, a, b uint64) {
+	op := int(a & 0xff)
+	bank := int(a >> 8 & 0xffffff)
+	switch op {
+	case opSched:
+		bs := &c.banks[bank]
+		if bs.wakeSet && bs.wakeAt == now {
+			bs.wakeSet = false
+		}
+		c.trySchedule(bank, now)
+	case opComplete:
+		c.completeBankOp(bank, c.arena.at(uint32(b)), int(a>>32), now)
+	case opReadDone:
+		r := c.arena.at(uint32(b))
+		r.done = true
+		r.doneAt = now
+		c.readLat.Add(uint64((now - r.arrive) / sim.TicksPerNS))
+	case opPump:
+		c.eagerPump(now)
+	case opQuota:
+		c.quotaTick(now)
+	}
+}
 
 // Timeline slice names by write mode, precomputed so the trace hooks
 // never format on the hot path.
@@ -197,25 +251,26 @@ func (c *Controller) quotaTick(now sim.Tick) {
 				0, c.quotas[b].Periods())
 		}
 	}
-	c.k.After(c.spec.QuotaPeriod, c.quotaTick)
+	c.k.AfterEvent(c.spec.QuotaPeriod, c, evWord(opQuota, 0, 0), 0)
 }
 
 // eagerPump tops the Eager Mellow Queue up from the LLC.
 func (c *Controller) eagerPump(now sim.Tick) {
-	for len(c.eagerQ) < c.cfg.EagerQueue {
+	for c.eagerQ.size < c.cfg.EagerQueue {
 		line, ok := c.eagerSource()
 		if !ok {
 			break
 		}
-		if c.findInQueue(c.eagerQ, line) != nil || c.findInQueue(c.writeQ, line) != nil {
+		bank := int(line & c.bankMask)
+		if c.eagerQ.find(bank, line) != nil || c.writeQ.find(bank, line) != nil {
 			continue
 		}
 		r := c.newRequest(KindEager, line, now)
-		c.eagerQ = append(c.eagerQ, r)
+		c.eagerQ.pushBack(r)
 		c.counts.EagerQueued++
-		c.scheduleSoon(r.Bank)
+		c.wake(r.Bank, now)
 	}
-	c.k.After(eagerPumpInterval, c.eagerPump)
+	c.k.AfterEvent(eagerPumpInterval, c, evWord(opPump, 0, 0), 0)
 }
 
 // mapLine decomposes a line address into bank and row-buffer tag after
@@ -227,9 +282,12 @@ func (c *Controller) mapLine(line uint64) (bank int, bufTag uint64) {
 	return bank, uint64(phys) / c.linesPerBuf
 }
 
+// newRequest fills a fresh arena slot; the hot path allocates nothing.
 func (c *Controller) newRequest(kind Kind, line uint64, now sim.Tick) *Request {
 	bank, tag := c.mapLine(line)
-	return &Request{Kind: kind, Line: line, Bank: bank, bufTag: tag, arrive: now}
+	r := c.arena.alloc()
+	r.Kind, r.Line, r.Bank, r.bufTag, r.arrive = kind, line, bank, tag, now
+	return r
 }
 
 // rank returns the global rank a bank belongs to.
@@ -238,56 +296,6 @@ func (c *Controller) rank(bank int) int { return bank / c.cfg.BanksPerRank }
 // channel returns the channel a bank's data bus belongs to. Banks are
 // line-interleaved, so adjacent lines alternate channels first.
 func (c *Controller) channel(bank int) int { return bank % c.cfg.Channels }
-
-// findInQueue returns the queued request for a line, or nil.
-func (c *Controller) findInQueue(q []*Request, line uint64) *Request {
-	for _, r := range q {
-		if r.Line == line {
-			return r
-		}
-	}
-	return nil
-}
-
-// removeFromQueue deletes r from q preserving order.
-func removeFromQueue(q []*Request, r *Request) []*Request {
-	for i, x := range q {
-		if x == r {
-			return append(q[:i], q[i+1:]...)
-		}
-	}
-	return q
-}
-
-// oldestForBank returns the oldest queued request targeting bank.
-func oldestForBank(q []*Request, bank int) *Request {
-	var best *Request
-	for _, r := range q {
-		if r.Bank == bank && (best == nil || r.arrive < best.arrive) {
-			best = r
-		}
-	}
-	return best
-}
-
-// countForBank counts queue entries for a bank.
-func countForBank(q []*Request, bank int) int {
-	n := 0
-	for _, r := range q {
-		if r.Bank == bank {
-			n++
-		}
-	}
-	return n
-}
-
-// scheduleSoon defers a scheduling attempt to the event loop at the
-// current tick, so that requests submitted in the same cycle are all
-// visible in the queues before any of them issues (the paper's decision
-// logic inspects queue contents at issue time).
-func (c *Controller) scheduleSoon(bank int) {
-	c.k.At(c.k.Now(), func(t sim.Tick) { c.trySchedule(bank, t) })
-}
 
 // AdvanceTo lets the memory system run up to time t (e.g. while the core
 // computes without missing).
@@ -301,12 +309,13 @@ func (c *Controller) Now() sim.Tick { return c.k.Now() }
 // time) until space frees. The returned request completes when Done().
 func (c *Controller) SubmitRead(line uint64, t sim.Tick) *Request {
 	c.advanceToAtLeast(t)
+	bank := int(line & c.bankMask)
 	// Write-to-read forwarding: a queued or in-flight write to the same
 	// line has the data.
-	if r := c.findInQueue(c.writeQ, line); r != nil {
+	if r := c.writeQ.find(bank, line); r != nil {
 		return c.forward(r)
 	}
-	if r := c.findInQueue(c.eagerQ, line); r != nil {
+	if r := c.eagerQ.find(bank, line); r != nil {
 		return c.forward(r)
 	}
 	for b := range c.banks {
@@ -314,14 +323,14 @@ func (c *Controller) SubmitRead(line uint64, t sim.Tick) *Request {
 			return c.forward(cur)
 		}
 	}
-	for len(c.readQ) >= c.cfg.ReadQueue {
-		c.waitForProgress(func() bool { return len(c.readQ) < c.cfg.ReadQueue })
+	for c.readQ.size >= c.cfg.ReadQueue {
+		c.waitForProgress(func() bool { return c.readQ.size < c.cfg.ReadQueue })
 	}
 	now := c.k.Now()
 	r := c.newRequest(KindRead, line, now)
-	c.readQ = append(c.readQ, r)
+	c.readQ.pushBack(r)
 	c.maybePreemptForRead(r, now)
-	c.scheduleSoon(r.Bank)
+	c.wake(r.Bank, now)
 	return r
 }
 
@@ -329,10 +338,10 @@ func (c *Controller) SubmitRead(line uint64, t sim.Tick) *Request {
 func (c *Controller) forward(w *Request) *Request {
 	c.counts.Forwarded++
 	now := c.k.Now()
-	return &Request{
-		Kind: KindRead, Line: w.Line, Bank: w.Bank,
-		arrive: now, done: true, doneAt: now + forwardLatency,
-	}
+	r := c.arena.alloc()
+	r.Kind, r.Line, r.Bank = KindRead, w.Line, w.Bank
+	r.arrive, r.done, r.doneAt = now, true, now+forwardLatency
+	return r
 }
 
 // SubmitWrite enqueues an LLC dirty write-back at time t. If the write
@@ -340,25 +349,26 @@ func (c *Controller) forward(w *Request) *Request {
 // machinery guarantees progress). It returns the acceptance time.
 func (c *Controller) SubmitWrite(line uint64, t sim.Tick) sim.Tick {
 	c.advanceToAtLeast(t)
+	bank := int(line & c.bankMask)
 	// Coalesce with an already-queued write to the same line.
-	if c.findInQueue(c.writeQ, line) != nil {
+	if c.writeQ.find(bank, line) != nil {
 		c.counts.Coalesced++
 		return c.k.Now()
 	}
 	// A queued eager write to the line is stale relative to this
 	// write-back: replace it.
-	if e := c.findInQueue(c.eagerQ, line); e != nil {
-		c.eagerQ = removeFromQueue(c.eagerQ, e)
+	if e := c.eagerQ.find(bank, line); e != nil {
+		c.eagerQ.remove(e)
 	}
-	for len(c.writeQ) >= c.cfg.WriteQueue {
-		c.waitForProgress(func() bool { return len(c.writeQ) < c.cfg.WriteQueue })
+	for c.writeQ.size >= c.cfg.WriteQueue {
+		c.waitForProgress(func() bool { return c.writeQ.size < c.cfg.WriteQueue })
 	}
 	now := c.k.Now()
 	r := c.newRequest(KindWrite, line, now)
-	c.writeQ = append(c.writeQ, r)
+	c.writeQ.pushBack(r)
 	c.counts.WriteQueued++
 	c.updateDrainState(now)
-	c.scheduleSoon(r.Bank)
+	c.wake(r.Bank, now)
 	return now
 }
 
@@ -426,15 +436,14 @@ func (c *Controller) maybePreemptForRead(r *Request, now sim.Tick) {
 	b.freeAt = now + cancelPenalty
 	// The write returns to the head of its queue for retry.
 	if w.Kind == KindEager {
-		c.eagerQ = append([]*Request{w}, c.eagerQ...)
+		c.eagerQ.pushFront(w)
 	} else {
-		c.writeQ = append([]*Request{w}, c.writeQ...)
+		c.writeQ.pushFront(w)
 		c.updateDrainState(now)
 	}
 	// The pending completion event will find bank.cur changed and do
 	// nothing; schedule the read opportunity after the penalty.
-	bank := r.Bank
-	c.k.At(b.freeAt, func(t sim.Tick) { c.trySchedule(bank, t) })
+	c.wake(r.Bank, b.freeAt)
 }
 
 // pauseWrite suspends the bank's in-flight write, remembering the pulse
@@ -455,31 +464,31 @@ func (c *Controller) pauseWrite(bank int, now sim.Tick) {
 	b.cur = nil
 	b.freeAt = now + cancelPenalty
 	if w.Kind == KindEager {
-		c.eagerQ = append([]*Request{w}, c.eagerQ...)
+		c.eagerQ.pushFront(w)
 	} else {
-		c.writeQ = append([]*Request{w}, c.writeQ...)
+		c.writeQ.pushFront(w)
 		c.updateDrainState(now)
 	}
-	c.k.At(b.freeAt, func(t sim.Tick) { c.trySchedule(bank, t) })
+	c.wake(bank, b.freeAt)
 }
 
 // updateDrainState flips drain mode per the §VI-C thresholds.
 func (c *Controller) updateDrainState(now sim.Tick) {
-	if !c.draining && len(c.writeQ) >= c.cfg.DrainHigh {
+	if !c.draining && c.writeQ.size >= c.cfg.DrainHigh {
 		c.draining = true
 		c.counts.Drains++
 		c.drainMeter.Set(true, now)
 		if c.trace != nil {
 			c.drainStart = now
 			c.trace.Instant(xtrace.TrackController, "drain start", "drain",
-				now, 0, uint64(len(c.writeQ)))
+				now, 0, uint64(c.writeQ.size))
 		}
-	} else if c.draining && len(c.writeQ) <= c.cfg.DrainLow {
+	} else if c.draining && c.writeQ.size <= c.cfg.DrainLow {
 		c.draining = false
 		c.drainMeter.Set(false, now)
 		if c.trace != nil {
 			c.trace.Slice(xtrace.TrackController, "drain", "drain",
-				c.drainStart, now, 0, uint64(len(c.writeQ)))
+				c.drainStart, now, 0, uint64(c.writeQ.size))
 		}
 	}
 }
@@ -493,7 +502,7 @@ func (c *Controller) FlushTrace() {
 	}
 	if c.draining {
 		c.trace.Slice(xtrace.TrackController, "drain", "drain",
-			c.drainStart, c.k.Now(), 0, uint64(len(c.writeQ)))
+			c.drainStart, c.k.Now(), 0, uint64(c.writeQ.size))
 	}
 }
 
@@ -508,7 +517,7 @@ func (c *Controller) trySchedule(bank int, now sim.Tick) {
 		return
 	}
 	read := c.pickRead(bank)
-	write := oldestForBank(c.writeQ, bank)
+	write := c.writeQ.oldest(bank)
 	switch {
 	case c.draining && write != nil:
 		c.issueWrite(write, now)
@@ -517,7 +526,7 @@ func (c *Controller) trySchedule(bank int, now sim.Tick) {
 	case write != nil:
 		c.issueWrite(write, now)
 	default:
-		if eager := oldestForBank(c.eagerQ, bank); eager != nil {
+		if eager := c.eagerQ.oldest(bank); eager != nil {
 			c.issueEager(eager, now)
 		}
 	}
@@ -527,23 +536,16 @@ func (c *Controller) trySchedule(bank int, now sim.Tick) {
 // FR-FCFS the oldest row-buffer hit if one exists (first-ready FCFS).
 func (c *Controller) pickRead(bank int) *Request {
 	if c.cfg.Scheduler != "frfcfs" {
-		return oldestForBank(c.readQ, bank)
+		return c.readQ.oldest(bank)
 	}
 	b := &c.banks[bank]
-	var hit, any *Request
-	for _, r := range c.readQ {
-		if r.Bank != bank {
-			continue
+	any := c.readQ.oldest(bank)
+	if b.openValid {
+		for r := any; r != nil; r = r.next {
+			if b.openTag == r.bufTag {
+				return r
+			}
 		}
-		if any == nil || r.arrive < any.arrive {
-			any = r
-		}
-		if b.openValid && b.openTag == r.bufTag && (hit == nil || r.arrive < hit.arrive) {
-			hit = r
-		}
-	}
-	if hit != nil {
-		return hit
 	}
 	return any
 }
@@ -551,7 +553,7 @@ func (c *Controller) pickRead(bank int) *Request {
 // issueRead starts a read on its (idle) bank.
 func (c *Controller) issueRead(r *Request, now sim.Tick) {
 	b := &c.banks[r.Bank]
-	c.readQ = removeFromQueue(c.readQ, r)
+	c.readQ.remove(r)
 	start := now
 	var access sim.Tick
 	if b.openValid && b.openTag == r.bufTag {
@@ -582,13 +584,8 @@ func (c *Controller) issueRead(r *Request, now sim.Tick) {
 	b.curStart = start
 	b.freeAt = accessEnd
 	r.attempts++
-	bank, gen := r.Bank, r.attempts
-	c.k.At(accessEnd, func(t sim.Tick) { c.completeBankOp(bank, r, gen, t) })
-	c.k.At(doneAt, func(t sim.Tick) {
-		r.done = true
-		r.doneAt = t
-		c.readLat.Add(uint64((t - r.arrive) / sim.TicksPerNS))
-	})
+	c.k.AtEvent(accessEnd, c, evWord(opComplete, r.Bank, r.attempts), uint64(r.idx))
+	c.k.AtEvent(doneAt, c, evWord(opReadDone, 0, 0), uint64(r.idx))
 }
 
 // activateStart returns the earliest time a row activation may start in
@@ -612,12 +609,12 @@ func (c *Controller) activateStart(bank int, now sim.Tick) sim.Tick {
 // issueWrite starts a demand write-back, choosing its pulse per Fig. 9.
 func (c *Controller) issueWrite(w *Request, now sim.Tick) {
 	view := policy.QueueView{
-		WritesForBank: countForBank(c.writeQ, w.Bank),
+		WritesForBank: c.writeQ.count(w.Bank),
 		QuotaExceeded: c.quotas[w.Bank].Exceeded(),
 		Draining:      c.draining,
 	}
 	dec := c.spec.DecideWrite(view)
-	c.writeQ = removeFromQueue(c.writeQ, w)
+	c.writeQ.remove(w)
 	c.updateDrainState(now)
 	c.startWritePulse(w, dec, now)
 }
@@ -626,7 +623,7 @@ func (c *Controller) issueWrite(w *Request, now sim.Tick) {
 func (c *Controller) issueEager(w *Request, now sim.Tick) {
 	view := policy.QueueView{QuotaExceeded: c.quotas[w.Bank].Exceeded()}
 	dec := c.spec.DecideEager(view)
-	c.eagerQ = removeFromQueue(c.eagerQ, w)
+	c.eagerQ.remove(w)
 	c.startWritePulse(w, dec, now)
 }
 
@@ -658,8 +655,7 @@ func (c *Controller) startWritePulse(w *Request, dec policy.WriteDecision, now s
 	b.curPausable = dec.Pausable
 	b.curStart = start
 	b.freeAt = end
-	bank, gen := w.Bank, w.attempts
-	c.k.At(end, func(t sim.Tick) { c.completeBankOp(bank, w, gen, t) })
+	c.k.AtEvent(end, c, evWord(opComplete, w.Bank, w.attempts), uint64(w.idx))
 }
 
 // completeBankOp finishes the bank's current operation (unless it was
@@ -678,7 +674,7 @@ func (c *Controller) completeBankOp(bank int, r *Request, gen int, now sim.Tick)
 		if b.freeAt > now {
 			// Start-Gap migration keeps the bank busy a little longer.
 			b.busy.AddBusy(now, b.freeAt)
-			c.k.At(b.freeAt, func(t sim.Tick) { c.trySchedule(bank, t) })
+			c.wake(bank, b.freeAt)
 			return
 		}
 	}

@@ -1,0 +1,141 @@
+package mem
+
+import "mellow/internal/sim"
+
+// This file holds the controller's indexed request containers: a chunked
+// request arena (so the hot path never allocates per request) and the
+// intrusive per-bank FIFO queues that replaced the old []*Request slices
+// with their per-issue linear scans.
+
+// reqChunkBits sizes the arena chunks: 512 requests (~64 KB) each.
+const reqChunkBits = 9
+
+// reqArena hands out Requests from append-only chunks. Slots are never
+// recycled within a run — a *Request stays valid for the controller's
+// lifetime, which is what the CPU model (which holds requests across
+// arbitrary simulated time) and the completion events (which name
+// requests by index) rely on. One run allocates a handful of chunks
+// instead of one object per memory operation.
+type reqArena struct {
+	chunks [][]Request
+	n      uint32
+}
+
+// alloc returns a zeroed Request with its arena index stamped.
+func (a *reqArena) alloc() *Request {
+	ci, off := int(a.n>>reqChunkBits), int(a.n&(1<<reqChunkBits-1))
+	if off == 0 {
+		a.chunks = append(a.chunks, make([]Request, 1<<reqChunkBits))
+	}
+	r := &a.chunks[ci][off]
+	r.idx = a.n
+	a.n++
+	return r
+}
+
+// at resolves an arena index (an event payload word) to its Request.
+func (a *reqArena) at(idx uint32) *Request {
+	return &a.chunks[idx>>reqChunkBits][idx&(1<<reqChunkBits-1)]
+}
+
+// bankFIFO is one bank's intrusive request list, linked through the
+// Request next/prev fields and kept in (arrive, submission) order: new
+// requests arrive at monotone ticks and append at the tail, and the only
+// front insertions are cancelled/paused writes, which by construction
+// arrived no later than anything still queued for the bank. The head is
+// therefore always the oldest request — the O(1) answer to what used to
+// be a scan.
+type bankFIFO struct {
+	head, tail *Request
+	n          int
+}
+
+// reqQueue is one controller queue (read, write or eager) indexed by
+// bank. The aggregate size drives the full/drain thresholds; per-bank
+// lists drive issue selection.
+type reqQueue struct {
+	size  int
+	banks []bankFIFO
+}
+
+func (q *reqQueue) init(banks int) { q.banks = make([]bankFIFO, banks) }
+
+// pushBack appends r to its bank's list (new arrivals).
+func (q *reqQueue) pushBack(r *Request) {
+	f := &q.banks[r.Bank]
+	r.next, r.prev = nil, f.tail
+	if f.tail != nil {
+		f.tail.next = r
+	} else {
+		f.head = r
+	}
+	f.tail = r
+	f.n++
+	q.size++
+}
+
+// pushFront re-queues a preempted request at its bank's head.
+func (q *reqQueue) pushFront(r *Request) {
+	f := &q.banks[r.Bank]
+	r.prev, r.next = nil, f.head
+	if f.head != nil {
+		f.head.prev = r
+	} else {
+		f.tail = r
+	}
+	f.head = r
+	f.n++
+	q.size++
+}
+
+// remove unlinks r from its bank's list.
+func (q *reqQueue) remove(r *Request) {
+	f := &q.banks[r.Bank]
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		f.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		f.tail = r.prev
+	}
+	r.next, r.prev = nil, nil
+	f.n--
+	q.size--
+}
+
+// oldest returns the oldest queued request for a bank, or nil. O(1).
+func (q *reqQueue) oldest(bank int) *Request {
+	return q.banks[bank].head
+}
+
+// count returns the number of queued requests for a bank. O(1).
+func (q *reqQueue) count(bank int) int { return q.banks[bank].n }
+
+// find returns the queued request holding line, or nil. The walk spans
+// only the line's bank list (a handful of entries) instead of the whole
+// queue.
+func (q *reqQueue) find(bank int, line uint64) *Request {
+	for r := q.banks[bank].head; r != nil; r = r.next {
+		if r.Line == line {
+			return r
+		}
+	}
+	return nil
+}
+
+// wake schedules (or dedups) a scheduling attempt for a bank at tick t.
+// The bank's precomputed next-wakeup tick makes redundant scheduler
+// events disappear: several same-tick submissions to one bank used to
+// enqueue one no-op trySchedule event each; now the first wins and the
+// rest cost a comparison. An idle bank has no pending wake event at all.
+func (c *Controller) wake(bank int, t sim.Tick) {
+	b := &c.banks[bank]
+	if b.wakeSet && b.wakeAt == t {
+		return
+	}
+	b.wakeSet, b.wakeAt = true, t
+	c.k.AtEvent(t, c, evWord(opSched, bank, 0), 0)
+}

@@ -62,6 +62,11 @@ type Request struct {
 	// remaining is the unfinished pulse time of a paused write; zero
 	// means a fresh (or cancelled-and-restarted) write.
 	remaining sim.Tick
+
+	// idx is the request's arena slot, used to name it in event payloads.
+	idx uint32
+	// next/prev link the request into its bank's queue while it waits.
+	next, prev *Request
 }
 
 // Done reports completion; DoneAt is valid once Done is true.

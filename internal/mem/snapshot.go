@@ -202,9 +202,9 @@ func (c *Controller) ProbeCounters() ProbeCounters {
 	p := ProbeCounters{
 		Counters:   c.counts,
 		BankDamage: make([]float64, len(c.banks)),
-		ReadQueue:  len(c.readQ),
-		WriteQueue: len(c.writeQ),
-		EagerQueue: len(c.eagerQ),
+		ReadQueue:  c.readQ.size,
+		WriteQueue: c.writeQ.size,
+		EagerQueue: c.eagerQ.size,
 		Draining:   c.draining,
 	}
 	for b := range c.banks {
@@ -275,9 +275,9 @@ func (c *Controller) CollectMetrics(g *metrics.Gatherer) {
 		g.CounterL("sim_mem_cancelled_by_mode_total", "Aborted write attempts by pulse slowdown.", "mode", mode, cancelled[i])
 	}
 
-	g.GaugeL("sim_mem_queue_depth", "Controller queue occupancy.", "queue", "eager", float64(len(c.eagerQ)))
-	g.GaugeL("sim_mem_queue_depth", "Controller queue occupancy.", "queue", "read", float64(len(c.readQ)))
-	g.GaugeL("sim_mem_queue_depth", "Controller queue occupancy.", "queue", "write", float64(len(c.writeQ)))
+	g.GaugeL("sim_mem_queue_depth", "Controller queue occupancy.", "queue", "eager", float64(c.eagerQ.size))
+	g.GaugeL("sim_mem_queue_depth", "Controller queue occupancy.", "queue", "read", float64(c.readQ.size))
+	g.GaugeL("sim_mem_queue_depth", "Controller queue occupancy.", "queue", "write", float64(c.writeQ.size))
 	draining := 0.0
 	if c.draining {
 		draining = 1
@@ -291,7 +291,7 @@ func (c *Controller) CollectMetrics(g *metrics.Gatherer) {
 
 // QueueDepths reports current queue occupancy (tests, debugging).
 func (c *Controller) QueueDepths() (read, write, eager int) {
-	return len(c.readQ), len(c.writeQ), len(c.eagerQ)
+	return c.readQ.size, c.writeQ.size, c.eagerQ.size
 }
 
 // Draining reports whether the controller is in write-drain mode.

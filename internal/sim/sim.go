@@ -1,16 +1,32 @@
 // Package sim provides the discrete-event simulation kernel used by the
-// memory-system model: an integer clock in ticks and a pending-event heap
-// with deterministic FIFO tie-breaking for events scheduled at the same
-// tick.
+// memory-system model: an integer clock in ticks and a bucketed timer
+// wheel of pending events with deterministic FIFO tie-breaking for
+// events scheduled at the same tick.
 //
 // One tick is 0.5 ns — one cycle of the 2 GHz core in Table I. The 400 MHz
 // memory clock of Table II is exactly 5 ticks, so every timing parameter in
 // the paper is an integer number of ticks.
+//
+// # Event storage
+//
+// Events live in a free-list slab and are threaded through a timer wheel
+// of one-tick buckets covering the window [now, now+wheelSlots). Nearly
+// every event the memory model schedules lands within a few hundred
+// ticks (the longest write pulse is 900 ticks), so the common case is an
+// O(1) bucket append on schedule and an O(1) bucket pop on fire, with
+// zero allocation in steady state. Events beyond the wheel horizon (the
+// Wear Quota period, 10^6 ticks) go to a small overflow list and migrate
+// into the wheel as the clock approaches them — a calendar-queue
+// fallback. The fire order is exactly (tick, seq): within one bucket all
+// events share one tick and are chained in insertion order, and overflow
+// migration inserts by seq, so the ordering contract of the old
+// container/heap implementation is preserved bit for bit (see
+// TestWheelMatchesReferenceHeap).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // Tick is a point in simulated time, in units of 0.5 ns.
@@ -39,31 +55,42 @@ func (t Tick) Seconds() float64 { return float64(t) / (TicksPerNS * 1e9) }
 // passes the current time back to the callback.
 type Event func(now Tick)
 
+// Handler is the allocation-free event callback: a single interface
+// value (typically the component itself) receives every typed event with
+// two opaque payload words. Hot paths schedule through AtEvent so that
+// no closure is allocated per event; the payload words carry an opcode
+// plus whatever identifies the work (a bank index, a slab index, a
+// generation counter).
+type Handler interface {
+	OnEvent(now Tick, a, b uint64)
+}
+
+// Timer-wheel geometry. One bucket per tick over a 4096-tick window
+// (2 µs): wide enough for every bank-timing event the memory model
+// schedules (longest write pulse 900 ticks, tFAW windows, bus bursts);
+// only multi-period timers (Wear Quota, profiler rotation when scheduled
+// far ahead) overflow.
+const (
+	wheelBits  = 12
+	wheelSlots = 1 << wheelBits
+	wheelMask  = wheelSlots - 1
+	wheelWords = wheelSlots / 64
+
+	nilIdx = int32(-1)
+)
+
+// maxTick is the step horizon used by Drain and AdvanceUntil.
+const maxTick = Tick(^uint64(0))
+
+// pendingEvent is one slab slot: timing, ordering, the callback (either
+// a closure or a typed handler+payload), and the intrusive bucket link.
 type pendingEvent struct {
 	at   Tick
 	seq  uint64 // insertion order; breaks ties deterministically
 	fire Event
-}
-
-type eventHeap []pendingEvent
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(pendingEvent)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+	h    Handler
+	a, b uint64
+	next int32 // next event in bucket / free list
 }
 
 // ProbeID names a registered periodic probe for removal.
@@ -71,7 +98,7 @@ type ProbeID int
 
 // probe is a periodic read-only observer: fn fires at every multiple of
 // period past its registration time, interleaved deterministically with
-// the event heap (see AddProbe for the contract).
+// the pending events (see AddProbe for the contract).
 type probe struct {
 	id     ProbeID
 	period Tick
@@ -83,43 +110,276 @@ type probe struct {
 // It is not safe for concurrent use; the whole simulator is single-threaded
 // and deterministic.
 type Kernel struct {
-	now    Tick
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now   Tick
+	seq   uint64
+	fired uint64
+
+	slab     []pendingEvent
+	freeHead int32
+	npending int
+
+	// wheel buckets: head/tail slab indices per slot, plus an occupancy
+	// bitmap so the next non-empty bucket is found with bit scans.
+	wheelHead [wheelSlots]int32
+	wheelTail [wheelSlots]int32
+	occ       [wheelWords]uint64
+	wheelN    int
+
+	// overflow holds events at or beyond now+wheelSlots; overflowMin
+	// caches the earliest overflow tick.
+	overflow    []int32
+	overflowMin Tick
+
+	// peekAt caches the earliest pending tick while peekValid. The CPU
+	// model nudges the memory clock forward every instruction; with the
+	// cache those calls are a compare instead of a bitmap scan. Scheduling
+	// can only lower the cached minimum (handled in schedule); firing an
+	// event invalidates it.
+	peekAt    Tick
+	peekValid bool
 
 	probes      []probe
 	nextProbeID ProbeID
 	inProbe     bool
+
+	ready bool // lazy one-time init of the nil-sentinel indices
+}
+
+// init prepares the zero-value kernel: bucket heads and the free list
+// use -1 as nil, which the zero value cannot express.
+func (k *Kernel) init() {
+	k.ready = true
+	k.freeHead = nilIdx
+	for i := range k.wheelHead {
+		k.wheelHead[i] = nilIdx
+		k.wheelTail[i] = nilIdx
+	}
 }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Tick { return k.now }
 
-// Pending returns the number of scheduled events not yet fired.
-func (k *Kernel) Pending() int { return len(k.events) }
+// Pending returns the number of scheduled events not yet fired. O(1).
+func (k *Kernel) Pending() int { return k.npending }
 
 // Fired returns the total number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
-// At schedules fn to run at absolute time t. Scheduling in the past (t <
-// Now) is a programming error and panics: the kernel can never run time
-// backwards. Probe callbacks are observers and may not schedule.
-func (k *Kernel) At(t Tick, fn Event) {
+// alloc takes a slab slot from the free list, growing the slab when it
+// is exhausted. Steady state recycles: the slab stops growing once it
+// covers the peak number of simultaneously pending events.
+func (k *Kernel) alloc() int32 {
+	if idx := k.freeHead; idx != nilIdx {
+		k.freeHead = k.slab[idx].next
+		return idx
+	}
+	k.slab = append(k.slab, pendingEvent{})
+	return int32(len(k.slab) - 1)
+}
+
+// release returns a fired event's slot to the free list, dropping the
+// callback references so the slab never pins closures alive.
+func (k *Kernel) release(idx int32) {
+	e := &k.slab[idx]
+	e.fire, e.h = nil, nil
+	e.next = k.freeHead
+	k.freeHead = idx
+}
+
+// schedule places a filled slab slot into the wheel or the overflow.
+func (k *Kernel) schedule(t Tick, fn Event, h Handler, a, b uint64) {
 	if k.inProbe {
 		panic("sim: probe callbacks are read-only observers and must not schedule events")
 	}
 	if t < k.now {
 		panic(fmt.Sprintf("sim: event scheduled in the past (at tick %d, now %d)", t, k.now))
 	}
+	if !k.ready {
+		k.init()
+	}
 	k.seq++
-	heap.Push(&k.events, pendingEvent{at: t, seq: k.seq, fire: fn})
+	idx := k.alloc()
+	e := &k.slab[idx]
+	e.at, e.seq = t, k.seq
+	e.fire, e.h, e.a, e.b = fn, h, a, b
+	e.next = nilIdx
+	k.npending++
+	if k.peekValid && t < k.peekAt {
+		k.peekAt = t
+	}
+	if t-k.now < wheelSlots {
+		// Direct inserts carry monotone seq, so a tail append keeps the
+		// bucket in (tick, seq) order.
+		k.bucketAppend(int(t&wheelMask), idx)
+	} else {
+		if len(k.overflow) == 0 || t < k.overflowMin {
+			k.overflowMin = t
+		}
+		k.overflow = append(k.overflow, idx)
+	}
 }
+
+// bucketAppend pushes idx at the tail of a bucket.
+func (k *Kernel) bucketAppend(slot int, idx int32) {
+	if k.wheelHead[slot] == nilIdx {
+		k.wheelHead[slot] = idx
+		k.occ[slot>>6] |= 1 << uint(slot&63)
+	} else {
+		k.slab[k.wheelTail[slot]].next = idx
+	}
+	k.wheelTail[slot] = idx
+	k.wheelN++
+}
+
+// bucketInsertSorted inserts idx into a bucket keeping seq order; used
+// only for overflow migration, where seq is not monotone with respect to
+// events already in the bucket.
+func (k *Kernel) bucketInsertSorted(slot int, idx int32) {
+	seq := k.slab[idx].seq
+	prev := nilIdx
+	for cur := k.wheelHead[slot]; cur != nilIdx && k.slab[cur].seq < seq; cur = k.slab[cur].next {
+		prev = cur
+	}
+	if prev == nilIdx {
+		k.slab[idx].next = k.wheelHead[slot]
+		if k.wheelHead[slot] == nilIdx {
+			k.wheelTail[slot] = idx
+			k.occ[slot>>6] |= 1 << uint(slot&63)
+		}
+		k.wheelHead[slot] = idx
+	} else {
+		k.slab[idx].next = k.slab[prev].next
+		k.slab[prev].next = idx
+		if k.slab[idx].next == nilIdx {
+			k.wheelTail[slot] = idx
+		}
+	}
+	k.wheelN++
+}
+
+// bucketPop removes and returns the bucket head.
+func (k *Kernel) bucketPop(slot int) int32 {
+	idx := k.wheelHead[slot]
+	next := k.slab[idx].next
+	k.wheelHead[slot] = next
+	if next == nilIdx {
+		k.wheelTail[slot] = nilIdx
+		k.occ[slot>>6] &^= 1 << uint(slot&63)
+	}
+	k.wheelN--
+	return idx
+}
+
+// nextOccupied finds the first occupied slot at or after from in
+// circular order. Because every wheel event lies in [now, now+wheelSlots),
+// circular distance from now's slot equals temporal distance, so the
+// first occupied slot holds the earliest events. The caller guarantees
+// the wheel is non-empty.
+func (k *Kernel) nextOccupied(from int) int {
+	w := from >> 6
+	if word := k.occ[w] & (^uint64(0) << uint(from&63)); word != 0 {
+		return w<<6 | bits.TrailingZeros64(word)
+	}
+	for i := 1; i <= wheelWords; i++ {
+		ww := (w + i) & (wheelWords - 1)
+		word := k.occ[ww]
+		if ww == w {
+			word &= (1 << uint(from&63)) - 1
+		}
+		if word != 0 {
+			return ww<<6 | bits.TrailingZeros64(word)
+		}
+	}
+	return -1 // unreachable when wheelN > 0
+}
+
+// migrate moves overflow events that now fit the wheel window into their
+// buckets. Migrated events insert by seq: a same-tick event may have
+// been scheduled directly into the bucket (with a later seq) after this
+// one was pushed to overflow.
+func (k *Kernel) migrate() {
+	if len(k.overflow) == 0 || k.overflowMin-k.now >= wheelSlots {
+		return
+	}
+	keep := k.overflow[:0]
+	min := maxTick
+	for _, idx := range k.overflow {
+		at := k.slab[idx].at
+		if at-k.now < wheelSlots {
+			k.slab[idx].next = nilIdx
+			k.bucketInsertSorted(int(at&wheelMask), idx)
+		} else {
+			keep = append(keep, idx)
+			if at < min {
+				min = at
+			}
+		}
+	}
+	k.overflow = keep
+	k.overflowMin = min
+}
+
+// popOverflowMin removes the overflow event with the smallest (at, seq).
+// Only reached when the wheel is empty, i.e. the next event is at least
+// wheelSlots ahead; the overflow list is always small (periodic timers).
+func (k *Kernel) popOverflowMin() int32 {
+	best := 0
+	be := &k.slab[k.overflow[0]]
+	for i := 1; i < len(k.overflow); i++ {
+		e := &k.slab[k.overflow[i]]
+		if e.at < be.at || (e.at == be.at && e.seq < be.seq) {
+			best, be = i, e
+		}
+	}
+	idx := k.overflow[best]
+	last := len(k.overflow) - 1
+	k.overflow[best] = k.overflow[last]
+	k.overflow = k.overflow[:last]
+	return idx
+}
+
+// peek returns the earliest pending tick, running overflow migration so
+// that afterwards the earliest event is poppable (in the wheel whenever
+// the wheel is non-empty). It refreshes the peek cache.
+func (k *Kernel) peek() (Tick, bool) {
+	if k.npending == 0 {
+		return 0, false
+	}
+	k.migrate()
+	var t Tick
+	if k.wheelN > 0 {
+		s := k.nextOccupied(int(k.now) & wheelMask)
+		t = k.slab[k.wheelHead[s]].at
+	} else {
+		t = k.overflowMin
+	}
+	k.peekAt, k.peekValid = t, true
+	return t, true
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) is a programming error and panics: the kernel can never run time
+// backwards. Probe callbacks are observers and may not schedule.
+func (k *Kernel) At(t Tick, fn Event) { k.schedule(t, fn, nil, 0, 0) }
+
+// After schedules fn to run d ticks from now.
+func (k *Kernel) After(d Tick, fn Event) { k.At(k.now+d, fn) }
+
+// AtEvent schedules a typed event: h.OnEvent(now, a, b) runs at absolute
+// time t. It is the allocation-free twin of At — the handler is an
+// interface value the caller constructed once, and the payload words
+// travel in the event slab, so nothing escapes to the heap per event.
+// Ordering is identical to At: typed and closure events share one clock
+// and one seq counter.
+func (k *Kernel) AtEvent(t Tick, h Handler, a, b uint64) { k.schedule(t, nil, h, a, b) }
+
+// AfterEvent schedules a typed event d ticks from now.
+func (k *Kernel) AfterEvent(d Tick, h Handler, a, b uint64) { k.AtEvent(k.now+d, h, a, b) }
 
 // AddProbe registers a periodic observer: fn fires at ticks now+period,
 // now+2·period, … for as long as the kernel advances. Probes are
-// deterministic with respect to the event heap — a probe due at tick T
-// fires after every event scheduled strictly before T and before any
+// deterministic with respect to the pending events — a probe due at tick
+// T fires after every event scheduled strictly before T and before any
 // event at or after T, and probes due at the same tick fire in
 // registration order. Probes never keep the simulation alive (a due time
 // beyond the last event or AdvanceTo horizon does not fire), never
@@ -175,27 +435,49 @@ func (k *Kernel) fireProbesTo(target Tick) {
 	}
 }
 
-// After schedules fn to run d ticks from now.
-func (k *Kernel) After(d Tick, fn Event) { k.At(k.now+d, fn) }
-
-// step fires the earliest pending event, advancing the clock to its
-// time. Probes due at or before the event's tick fire first.
-func (k *Kernel) step() {
-	if len(k.probes) > 0 {
-		k.fireProbesTo(k.events[0].at)
+// stepAtMost fires the earliest pending event if it is due at or before
+// limit, advancing the clock to its time. Probes due at or before the
+// event's tick fire first. It reports whether an event fired.
+func (k *Kernel) stepAtMost(limit Tick) bool {
+	if k.peekValid && k.peekAt > limit {
+		return false // nothing due: the common idle-advance fast path
 	}
-	ev := heap.Pop(&k.events).(pendingEvent)
-	k.now = ev.at
+	// The full peek also migrates, which the pop below relies on: after
+	// migration the earliest event is in the wheel iff the wheel is
+	// non-empty.
+	t, ok := k.peek()
+	if !ok || t > limit {
+		return false
+	}
+	k.peekValid = false
+	if len(k.probes) > 0 {
+		k.fireProbesTo(t)
+	}
+	var idx int32
+	if k.wheelN > 0 {
+		idx = k.bucketPop(int(t & wheelMask))
+	} else {
+		idx = k.popOverflowMin()
+	}
+	e := &k.slab[idx]
+	k.now = e.at
 	k.fired++
-	ev.fire(k.now)
+	k.npending--
+	fn, h, a, b := e.fire, e.h, e.a, e.b
+	k.release(idx)
+	if h != nil {
+		h.OnEvent(k.now, a, b)
+	} else {
+		fn(k.now)
+	}
+	return true
 }
 
 // AdvanceTo runs every event scheduled at or before t and then sets the
 // clock to t. Events fired may schedule further events; those are honoured
 // if they also fall at or before t.
 func (k *Kernel) AdvanceTo(t Tick) {
-	for len(k.events) > 0 && k.events[0].at <= t {
-		k.step()
+	for k.stepAtMost(t) {
 	}
 	if len(k.probes) > 0 {
 		k.fireProbesTo(t)
@@ -213,10 +495,9 @@ func (k *Kernel) AdvanceUntil(done func() bool) bool {
 		if done() {
 			return true
 		}
-		if len(k.events) == 0 {
+		if !k.stepAtMost(maxTick) {
 			return false
 		}
-		k.step()
 	}
 }
 
@@ -224,8 +505,7 @@ func (k *Kernel) AdvanceUntil(done func() bool) bool {
 // tests. It returns the number of events fired.
 func (k *Kernel) Drain() uint64 {
 	start := k.fired
-	for len(k.events) > 0 {
-		k.step()
+	for k.stepAtMost(maxTick) {
 	}
 	return k.fired - start
 }

@@ -12,9 +12,13 @@
 // (minimum ns/op) run across -count repetitions — the run least
 // disturbed by machine noise — and derives the two throughput numbers
 // the project tracks: simulated ticks per wall second and simulated
-// instructions per wall second. Comparison is on ns/op with a relative
-// threshold; CI runs it advisory (runner hardware varies) while local
-// runs treat exit 2 as a real finding.
+// instructions per wall second. Comparison checks ns/op AND allocs/op
+// (and reports B/op), each with its own threshold: allocation counts
+// are deterministic, so -threshold holds allocs/op tightly — any jump
+// there is a real code change — while ns/op wobbles with runner load
+// and only fails past the looser -ns-threshold, catching catastrophic
+// slowdowns without flaking on shared hardware. CI runs the compare as
+// a blocking gate.
 package main
 
 import (
@@ -55,13 +59,14 @@ type Snapshot struct {
 
 func main() {
 	var (
-		bench     = flag.String("bench", "BenchmarkSimulation$", "benchmark regexp passed to go test -bench")
-		count     = flag.Int("count", 3, "repetitions per benchmark; the minimum ns/op run is kept")
-		benchtime = flag.String("benchtime", "2x", "go test -benchtime per run")
-		pkg       = flag.String("pkg", "mellow", "package holding the benchmarks")
-		out       = flag.String("o", "", "write the snapshot JSON here (default stdout)")
-		compare   = flag.String("compare", "", "baseline snapshot to compare against; exit 2 on regression")
-		threshold = flag.Float64("threshold", 0.10, "relative ns/op regression tolerated before exit 2")
+		bench       = flag.String("bench", "BenchmarkSimulation$", "benchmark regexp passed to go test -bench")
+		count       = flag.Int("count", 3, "repetitions per benchmark; the minimum ns/op run is kept")
+		benchtime   = flag.String("benchtime", "2x", "go test -benchtime per run")
+		pkg         = flag.String("pkg", "mellow", "package holding the benchmarks")
+		out         = flag.String("o", "", "write the snapshot JSON here (default stdout)")
+		compare     = flag.String("compare", "", "baseline snapshot to compare against; exit 2 on regression")
+		threshold   = flag.Float64("threshold", 0.10, "relative allocs/op regression tolerated before exit 2")
+		nsThreshold = flag.Float64("ns-threshold", 0.60, "relative ns/op regression tolerated before exit 2 (loose: wall time is noisy on shared runners)")
 	)
 	flag.Parse()
 
@@ -98,7 +103,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", *compare, err)
 			os.Exit(1)
 		}
-		if regressed := diff(base, snap, *threshold); regressed {
+		if regressed := diff(base, snap, *threshold, *nsThreshold); regressed {
 			os.Exit(2)
 		}
 	}
@@ -110,7 +115,7 @@ func main() {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func capture(bench string, count int, benchtime, pkg string) (Snapshot, error) {
-	args := []string{"test", "-run", "^$", "-bench", bench,
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem",
 		"-benchtime", benchtime, "-count", strconv.Itoa(count), pkg}
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -162,11 +167,12 @@ func capture(bench string, count int, benchtime, pkg string) (Snapshot, error) {
 	return snap, nil
 }
 
-// diff reports each shared benchmark's delta and returns true when any
-// regressed past the threshold. Benchmarks present on only one side are
-// noted, never failed — the baseline regenerates with -o when the set
-// changes.
-func diff(base, cur Snapshot, threshold float64) bool {
+// diff reports each shared benchmark's delta on ns/op and allocs/op and
+// returns true when either regressed past its threshold: allocThreshold
+// for the deterministic allocs/op, nsThreshold for the noisy ns/op.
+// Benchmarks present on only one side are noted, never failed — the
+// baseline regenerates with -o when the set changes.
+func diff(base, cur Snapshot, allocThreshold, nsThreshold float64) bool {
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
 		names = append(names, name)
@@ -182,10 +188,10 @@ func diff(base, cur Snapshot, threshold float64) bool {
 		c := cur.Benchmarks[name]
 		rel := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
 		verdict := "ok   "
-		if rel > threshold {
+		if rel > nsThreshold {
 			verdict = "SLOW "
 			regressed = true
-		} else if rel < -threshold {
+		} else if rel < -nsThreshold {
 			verdict = "fast "
 		}
 		fmt.Printf("%s %-24s %12.0f -> %12.0f ns/op (%+.1f%%)", verdict, name, b.NsPerOp, c.NsPerOp, 100*rel)
@@ -193,6 +199,22 @@ func diff(base, cur Snapshot, threshold float64) bool {
 			fmt.Printf("  %.3g -> %.3g simticks/s", b.SimTicksPerSec, c.SimTicksPerSec)
 		}
 		fmt.Println()
+		// Allocation counts are deterministic per op, so hold them to the
+		// tight threshold: unlike ns/op, a jump here can never be machine
+		// noise.
+		ba, haveBase := b.Units["allocs/op"]
+		ca, haveCur := c.Units["allocs/op"]
+		if haveBase && haveCur && ba > 0 {
+			arel := (ca - ba) / ba
+			if arel > allocThreshold {
+				regressed = true
+				fmt.Printf("ALLOC %-24s %12.0f -> %12.0f allocs/op (%+.1f%%)", name, ba, ca, 100*arel)
+				if bb, cb := b.Units["B/op"], c.Units["B/op"]; bb > 0 {
+					fmt.Printf("  %.0f -> %.0f B/op", bb, cb)
+				}
+				fmt.Println()
+			}
+		}
 	}
 	for name := range base.Benchmarks {
 		if _, ok := cur.Benchmarks[name]; !ok {
@@ -200,7 +222,7 @@ func diff(base, cur Snapshot, threshold float64) bool {
 		}
 	}
 	if regressed {
-		fmt.Printf("benchsnap: regression beyond %.0f%% — investigate or regenerate the baseline with -o\n", 100*threshold)
+		fmt.Printf("benchsnap: regression beyond threshold (allocs >%.0f%% or ns >%.0f%%) — investigate or regenerate the baseline with -o\n", 100*allocThreshold, 100*nsThreshold)
 	}
 	return regressed
 }

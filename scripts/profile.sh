@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Profile the simulator hot path: run BenchmarkSimulation with CPU and
+# allocation profiling and print the top hot frames of each, so a perf
+# PR can see where the time and the garbage go before and after.
+#
+# Usage:
+#   ./scripts/profile.sh             # profile BenchmarkSimulation, top 10
+#   ./scripts/profile.sh Fig11 20    # another benchmark, top 20 frames
+#
+# Profiles land in ./profiles/ (git-ignored); inspect interactively with
+#   go tool pprof -http=: profiles/cpu.pb.gz
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bench="${1:-Simulation}"
+top="${2:-10}"
+outdir=profiles
+mkdir -p "$outdir"
+
+go test -run '^$' -bench "Benchmark${bench}\$" -benchtime 3x \
+  -cpuprofile "$outdir/cpu.pb.gz" -memprofile "$outdir/mem.pb.gz" .
+
+echo
+echo "=== top $top frames by CPU time ==="
+go tool pprof -top -nodecount="$top" "$outdir/cpu.pb.gz" | tail -n +3
+
+echo
+echo "=== top $top frames by allocated objects ==="
+go tool pprof -sample_index=alloc_objects -top -nodecount="$top" "$outdir/mem.pb.gz" | tail -n +3
+
+echo
+echo "profiles written to $outdir/ — drill down with: go tool pprof -http=: $outdir/cpu.pb.gz"
