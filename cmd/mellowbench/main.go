@@ -66,6 +66,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "write every simulation's execution timeline to this file (Chrome Trace Event Format JSON, open in Perfetto)")
 		follow    = flag.String("follow", "", "follow a mellowd job's live event stream by id and exit (client mode)")
 		serverURL = flag.String("server", "http://localhost:8077", "mellowd base URL for -follow")
+		leveler   = flag.String("leveler", "", `wear-leveling backend: "startgap" (default), "wolfram" or "softwear"`)
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -97,6 +98,13 @@ func main() {
 
 	cfg := mellow.DefaultConfig()
 	cfg.Run.Seed = *seed
+	if *leveler != "" {
+		cfg.Memory.WearLeveler = *leveler
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "mellowbench:", err)
+			os.Exit(1)
+		}
+	}
 	if *quick {
 		cfg.Run.WarmupInstructions = 1_000_000
 		cfg.Run.DetailedInstructions = 3_000_000

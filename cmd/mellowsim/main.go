@@ -28,6 +28,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		banks    = flag.Int("banks", 16, "total banks (4, 8 or 16)")
 		expo     = flag.Float64("expo", 2.0, "latency/endurance ExpoFactor (1.0-3.0)")
+		leveler  = flag.String("leveler", "", `wear-leveling backend: "startgap" (default), "wolfram" or "softwear"`)
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 		list     = flag.Bool("list", false, "list workloads and exit")
 	)
@@ -47,8 +48,14 @@ func main() {
 	}
 	cfg.Run.Seed = *seed
 	cfg.Memory.Device.ExpoFactor = *expo
+	if *leveler != "" {
+		cfg.Memory.WearLeveler = *leveler
+	}
 	var err error
 	if cfg, err = cfg.WithBanks(*banks); err != nil {
+		fatal(err)
+	}
+	if err = cfg.Validate(); err != nil {
 		fatal(err)
 	}
 	spec, err := mellow.ParsePolicy(*policyNm)

@@ -120,6 +120,24 @@ type Memory struct {
 	// StartGapEfficiency is the fraction of ideal leveling achieved;
 	// §IV-C conservatively uses 0.9.
 	StartGapEfficiency float64
+	// WearLeveler selects the wear-leveling backend: "startgap" (the
+	// paper's scheme, default), "wolfram" (WoLFRaM-style programmable-
+	// address-decoder block remapping) or "softwear" (SoftWear-style
+	// software-only page-granularity leveling). The field is part of the
+	// canonical JSON, so runs under different backends hash to different
+	// content addresses.
+	WearLeveler string
+	// WolframSwapPeriod is the wolfram backend's remap interval: the
+	// written block swaps frames with a random partner every this many
+	// bank writes.
+	WolframSwapPeriod int
+	// SoftWearPageBlocks is the softwear page size in 64-byte blocks; a
+	// power of two dividing BlocksPerBank (default 64 = a 4 KB OS page).
+	SoftWearPageBlocks int
+	// SoftWearEpochWrites is the softwear remap-evaluation epoch in bank
+	// writes: at each boundary the hottest page may migrate to the
+	// coldest frame.
+	SoftWearEpochWrites int
 }
 
 // Banks returns the total bank count across all channels.
@@ -166,26 +184,30 @@ func Default() Config {
 			DecayAccesses:   65536, // ~2 LLC turnovers
 		},
 		Memory: Memory{
-			Channels:           1,
-			Ranks:              4,
-			BanksPerRank:       4,
-			CapacityBytes:      8 << 30,
-			RowBytes:           16 << 10,
-			RowBufferBytes:     1 << 10,
-			ReadQueue:          32,
-			WriteQueue:         32,
-			EagerQueue:         16,
-			DrainHigh:          32,
-			DrainLow:           16,
-			TRCD:               sim.NS(120),
-			TCAS:               sim.MemCycle, // 2.5 ns
-			TFAW:               sim.NS(50),
-			BurstCycles:        4,
-			Device:             nvm.DefaultDevice(),
-			Cell:               nvm.CellC,
-			Scheduler:          "fcfs",
-			StartGapPsi:        100,
-			StartGapEfficiency: 0.9,
+			Channels:            1,
+			Ranks:               4,
+			BanksPerRank:        4,
+			CapacityBytes:       8 << 30,
+			RowBytes:            16 << 10,
+			RowBufferBytes:      1 << 10,
+			ReadQueue:           32,
+			WriteQueue:          32,
+			EagerQueue:          16,
+			DrainHigh:           32,
+			DrainLow:            16,
+			TRCD:                sim.NS(120),
+			TCAS:                sim.MemCycle, // 2.5 ns
+			TFAW:                sim.NS(50),
+			BurstCycles:         4,
+			Device:              nvm.DefaultDevice(),
+			Cell:                nvm.CellC,
+			Scheduler:           "fcfs",
+			StartGapPsi:         100,
+			StartGapEfficiency:  0.9,
+			WearLeveler:         "startgap",
+			WolframSwapPeriod:   100,
+			SoftWearPageBlocks:  64,
+			SoftWearEpochWrites: 4096,
 		},
 		Run: Run{
 			WarmupInstructions:   10_000_000,
@@ -252,7 +274,9 @@ func (c Config) Validate() error {
 	if m.ReadQueue <= 0 || m.WriteQueue <= 0 || m.EagerQueue < 0 {
 		return fmt.Errorf("config: queue depths must be positive (eager may be zero)")
 	}
-	if m.DrainHigh > m.WriteQueue || m.DrainLow >= m.DrainHigh || m.DrainLow < 0 {
+	// DrainLow == DrainHigh is the degenerate-but-valid hysteresis: each
+	// drain entry services exactly one write before the low mark clears.
+	if m.DrainHigh > m.WriteQueue || m.DrainHigh <= 0 || m.DrainLow > m.DrainHigh || m.DrainLow < 0 {
 		return fmt.Errorf("config: drain thresholds low=%d high=%d invalid for queue %d",
 			m.DrainLow, m.DrainHigh, m.WriteQueue)
 	}
@@ -278,6 +302,24 @@ func (c Config) Validate() error {
 	}
 	if m.StartGapEfficiency <= 0 || m.StartGapEfficiency > 1 {
 		return fmt.Errorf("config: Start-Gap efficiency %v out of (0,1]", m.StartGapEfficiency)
+	}
+	switch m.WearLeveler {
+	case "", "startgap", "wolfram", "softwear":
+	default:
+		return fmt.Errorf("config: unknown wear leveler %q (want startgap, wolfram or softwear)", m.WearLeveler)
+	}
+	if m.WolframSwapPeriod <= 0 {
+		return fmt.Errorf("config: wolfram swap period must be positive, got %d", m.WolframSwapPeriod)
+	}
+	if m.SoftWearPageBlocks <= 0 || bits.OnesCount(uint(m.SoftWearPageBlocks)) != 1 {
+		return fmt.Errorf("config: softwear page size %d blocks is not a positive power of two", m.SoftWearPageBlocks)
+	}
+	if m.BlocksPerBank()%int64(m.SoftWearPageBlocks) != 0 {
+		return fmt.Errorf("config: softwear page size %d does not divide %d blocks per bank",
+			m.SoftWearPageBlocks, m.BlocksPerBank())
+	}
+	if m.SoftWearEpochWrites <= 0 {
+		return fmt.Errorf("config: softwear epoch must be positive, got %d", m.SoftWearEpochWrites)
 	}
 	if c.Run.DetailedInstructions == 0 {
 		return fmt.Errorf("config: detailed instruction count must be positive")

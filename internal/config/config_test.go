@@ -105,8 +105,15 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		"odd capacity":         func(c *Config) { c.Memory.CapacityBytes = 1000 },
 		"row buffer mismatch":  func(c *Config) { c.Memory.RowBufferBytes = 999 },
 		"zero read queue":      func(c *Config) { c.Memory.ReadQueue = 0 },
-		"drain low >= high":    func(c *Config) { c.Memory.DrainLow = 32 },
+		"drain low > high":     func(c *Config) { c.Memory.DrainLow = 33 },
 		"drain high too big":   func(c *Config) { c.Memory.DrainHigh = 64 },
+		"negative drain low":   func(c *Config) { c.Memory.DrainLow = -1 },
+		"zero drain high":      func(c *Config) { c.Memory.DrainHigh = 0; c.Memory.DrainLow = 0 },
+		"unknown leveler":      func(c *Config) { c.Memory.WearLeveler = "chalkboard" },
+		"zero wolfram period":  func(c *Config) { c.Memory.WolframSwapPeriod = 0 },
+		"non-pow2 page":        func(c *Config) { c.Memory.SoftWearPageBlocks = 48 },
+		"page exceeds bank":    func(c *Config) { c.Memory.SoftWearPageBlocks = 1 << 30 },
+		"zero softwear epoch":  func(c *Config) { c.Memory.SoftWearEpochWrites = 0 },
 		"zero tRCD":            func(c *Config) { c.Memory.TRCD = 0 },
 		"zero burst":           func(c *Config) { c.Memory.BurstCycles = 0 },
 		"zero endurance":       func(c *Config) { c.Memory.Device.BaseEndurance = 0 },
@@ -120,6 +127,28 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		mutate(&c)
 		if err := c.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted invalid config", name)
+		}
+	}
+}
+
+// Degenerate hysteresis (DrainLow == DrainHigh) is valid: the window
+// collapses to a single flip point (§VI-C boundary behavior).
+func TestValidateAcceptsDegenerateDrainWindow(t *testing.T) {
+	c := Default()
+	c.Memory.DrainLow = c.Memory.DrainHigh
+	if err := c.Validate(); err != nil {
+		t.Fatalf("DrainLow == DrainHigh rejected: %v", err)
+	}
+}
+
+// Every selectable wear backend validates with default parameters, and
+// the empty string (meaning startgap) does too.
+func TestValidateAcceptsAllLevelers(t *testing.T) {
+	for _, name := range []string{"", "startgap", "wolfram", "softwear"} {
+		c := Default()
+		c.Memory.WearLeveler = name
+		if err := c.Validate(); err != nil {
+			t.Errorf("leveler %q rejected: %v", name, err)
 		}
 	}
 }

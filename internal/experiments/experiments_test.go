@@ -34,7 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	want := []string{"tab4", "tab6", "fig1", "fig2", "fig3", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "claims"}
+		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "claims"}
 	for _, id := range want {
 		if !ids[id] {
 			t.Errorf("missing experiment %q", id)
@@ -175,7 +175,7 @@ func TestExtensionExperimentsRun(t *testing.T) {
 	var buf bytes.Buffer
 	o := quickOpts(&buf)
 	o.Workloads = []string{"stream", "gups"}
-	for _, id := range []string{"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "claims"} {
+	for _, id := range []string{"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "claims"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)
@@ -185,7 +185,8 @@ func TestExtensionExperimentsRun(t *testing.T) {
 		}
 	}
 	out := buf.String()
-	for _, want := range []string{"BE-Mellow+SC+ML", "decay", "Start-Gap psi 10"} {
+	for _, want := range []string{"BE-Mellow+SC+ML", "decay", "Start-Gap psi 10",
+		"wolfram", "softwear"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("extension output missing %q", want)
 		}

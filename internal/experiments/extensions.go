@@ -28,6 +28,7 @@ func init() {
 		Experiment{"ext5", "Validation: Start-Gap leveling efficiency vs the 0.9 assumption", runExt5},
 		Experiment{"ext6", "Extension: multiprogrammed mixes sharing the memory system", runExt6},
 		Experiment{"ext7", "Extension: technology corners (PCM-like, high/low-endurance ReRAM)", runExt7},
+		Experiment{"ext8", "Extension: Mellow policies x wear-leveling backends (Start-Gap, WoLFRaM, SoftWear)", runExt8},
 	)
 }
 
@@ -336,6 +337,50 @@ func runExt7(o Options) error {
 			row = append(row, fmt.Sprintf("%s -> %s", formatYears(n), formatYears(b)))
 		}
 		t.AddRow(row...)
+	}
+	return t.Fprint(o.Out)
+}
+
+// runExt8 re-evaluates the Mellow policy line-up on top of each
+// selectable wear-leveling backend. The paper's Tables I/II assume
+// Start-Gap underneath every policy; WoLFRaM-style decoder remapping and
+// SoftWear-style page-granularity software leveling charge different
+// remap costs and level with different efficiency, so both the IPC and
+// the lifetime columns move — the comparison PAPERS.md names as the
+// natural modern baseline sweep.
+func runExt8(o Options) error {
+	specs := []policy.Spec{
+		policy.Norm(),
+		policy.BMellow().WithSC(),
+		policy.BEMellow().WithSC(),
+		policy.BEMellow().WithSC().WithWQ(),
+	}
+	t := stats.Table{
+		Title: "Extension 8: wear-leveling backends x Mellow policies " +
+			"(IPC vs same-backend Norm / lifetime years / migration writes)",
+		Header: append([]string{"workload", "leveler"}, policy.Names(specs)...),
+	}
+	for _, w := range o.workloads() {
+		for _, backend := range wear.Backends() {
+			cfg := o.Cfg
+			cfg.Memory.WearLeveler = backend
+			var jobs []job
+			for _, s := range specs {
+				jobs = append(jobs, job{cfg: cfg, spec: s, workload: w})
+			}
+			res, err := runAll(o, jobs)
+			if err != nil {
+				return err
+			}
+			base := res[[2]string{"Norm", w}]
+			row := []string{w, backend}
+			for _, s := range specs {
+				r := res[[2]string{s.Name, w}]
+				row = append(row, fmt.Sprintf("%.2f/%s/%d",
+					r.IPC/base.IPC, formatYears(r.LifetimeYears()), r.Mem.GapMoves))
+			}
+			t.AddRow(row...)
+		}
 	}
 	return t.Fprint(o.Out)
 }

@@ -97,7 +97,13 @@ type Controller struct {
 
 	meters []*wear.Meter
 	quotas []*wear.Quota
-	gaps   []*wear.StartGap
+	levs   []wear.Leveler
+
+	// levelEff and remapName are precomputed from the leveling backend:
+	// the §V lifetime efficiency, and the trace-instant name so remap
+	// hooks never format on the hot path.
+	levelEff  float64
+	remapName string
 
 	eagerSource EagerSource
 
@@ -158,15 +164,36 @@ func New(k *sim.Kernel, cfg config.Memory, spec policy.Spec) *Controller {
 	c.eagerQ.init(nb)
 	c.meters = make([]*wear.Meter, nb)
 	c.quotas = make([]*wear.Quota, nb)
-	c.gaps = make([]*wear.StartGap, nb)
+	c.levs = make([]wear.Leveler, nb)
 	for b := 0; b < nb; b++ {
 		c.meters[b] = &wear.Meter{}
 		c.quotas[b] = wear.NewQuota(c.blocksPerBank, cfg.Device.BaseEndurance,
 			spec.QuotaPeriod, spec.TargetLifetime, spec.QuotaRatio)
-		c.gaps[b] = wear.NewStartGap(c.blocksPerBank, cfg.StartGapPsi)
+		// The seed keeps randomized backends (WoLFRaM) deterministic per
+		// bank while decorrelating banks from each other.
+		lv, err := wear.NewLeveler(wear.LevelerConfig{
+			Backend:             cfg.WearLeveler,
+			Blocks:              c.blocksPerBank,
+			Seed:                uint64(b),
+			StartGapPsi:         cfg.StartGapPsi,
+			StartGapEfficiency:  cfg.StartGapEfficiency,
+			WolframSwapPeriod:   cfg.WolframSwapPeriod,
+			SoftWearPageBlocks:  cfg.SoftWearPageBlocks,
+			SoftWearEpochWrites: cfg.SoftWearEpochWrites,
+		})
+		if err != nil {
+			// Validate() checks every leveler parameter, so this is a
+			// programming error, not a configuration one.
+			panic("mem: " + err.Error())
+		}
+		c.levs[b] = lv
 	}
+	c.levelEff = c.levs[0].Efficiency()
+	c.remapName = "remap: " + c.levs[0].Name()
 	if spec.WearQuota {
-		c.k.AfterEvent(spec.QuotaPeriod, c, evWord(opQuota, 0, 0), 0)
+		// Housekeeping timer: it must not keep Drain() alive, so it is a
+		// daemon event.
+		c.k.AfterDaemonEvent(spec.QuotaPeriod, c, evWord(opQuota, 0, 0), 0)
 		// Period 0 starts immediately with zero history.
 		for _, q := range c.quotas {
 			q.StartPeriod(0)
@@ -182,7 +209,7 @@ func New(k *sim.Kernel, cfg config.Memory, spec policy.Spec) *Controller {
 func (c *Controller) SetEagerSource(src EagerSource) {
 	c.eagerSource = src
 	if c.spec.Eager {
-		c.k.AfterEvent(eagerPumpInterval, c, evWord(opPump, 0, 0), 0)
+		c.k.AfterDaemonEvent(eagerPumpInterval, c, evWord(opPump, 0, 0), 0)
 	}
 }
 
@@ -251,7 +278,7 @@ func (c *Controller) quotaTick(now sim.Tick) {
 				0, c.quotas[b].Periods())
 		}
 	}
-	c.k.AfterEvent(c.spec.QuotaPeriod, c, evWord(opQuota, 0, 0), 0)
+	c.k.AfterDaemonEvent(c.spec.QuotaPeriod, c, evWord(opQuota, 0, 0), 0)
 }
 
 // eagerPump tops the Eager Mellow Queue up from the LLC.
@@ -270,15 +297,15 @@ func (c *Controller) eagerPump(now sim.Tick) {
 		c.counts.EagerQueued++
 		c.wake(r.Bank, now)
 	}
-	c.k.AfterEvent(eagerPumpInterval, c, evWord(opPump, 0, 0), 0)
+	c.k.AfterDaemonEvent(eagerPumpInterval, c, evWord(opPump, 0, 0), 0)
 }
 
 // mapLine decomposes a line address into bank and row-buffer tag after
-// Start-Gap remapping within the bank.
+// wear-leveling remapping within the bank.
 func (c *Controller) mapLine(line uint64) (bank int, bufTag uint64) {
 	bank = int(line & c.bankMask)
 	inBank := int64(line>>c.bankBits) % c.blocksPerBank
-	phys := c.gaps[bank].Map(inBank)
+	phys := c.levs[bank].Map(inBank)
 	return bank, uint64(phys) / c.linesPerBuf
 }
 
@@ -672,7 +699,7 @@ func (c *Controller) completeBankOp(bank int, r *Request, gen int, now sim.Tick)
 	if r.Kind != KindRead {
 		c.finishWrite(bank, r, now)
 		if b.freeAt > now {
-			// Start-Gap migration keeps the bank busy a little longer.
+			// Wear-leveling migration keeps the bank busy a little longer.
 			b.busy.AddBusy(now, b.freeAt)
 			c.wake(bank, b.freeAt)
 			return
@@ -681,8 +708,8 @@ func (c *Controller) completeBankOp(bank int, r *Request, gen int, now sim.Tick)
 	c.trySchedule(bank, now)
 }
 
-// finishWrite accounts wear, energy, Start-Gap movement and completion
-// for a write that ran to the end of its pulse.
+// finishWrite accounts wear, energy, wear-leveling movement and
+// completion for a write that ran to the end of its pulse.
 func (c *Controller) finishWrite(bank int, w *Request, now sim.Tick) {
 	b := &c.banks[bank]
 	c.meters[bank].Record(w.mode, c.cfg.Device.Damage(w.mode))
@@ -694,10 +721,39 @@ func (c *Controller) finishWrite(bank int, w *Request, now sim.Tick) {
 	}
 	w.done = true
 	w.doneAt = now
-	if moved, rewritten := c.gaps[bank].OnWrite(); moved && rewritten >= 0 {
-		// The migration copy is one array read plus one normal write.
-		c.meters[bank].RecordGapMove()
-		c.energy.AddMigration(c.em)
-		b.freeAt = now + c.cfg.TRCD + c.cfg.Device.WriteLatency(nvm.WriteNormal)
+	inBank := int64(w.Line>>c.bankBits) % c.blocksPerBank
+	if cost := c.levs[bank].Observe(inBank); cost.CopyWrites > 0 {
+		// Each migration copy is one array read plus one normal write; the
+		// bank stays busy for all of them (page-granularity backends copy
+		// many blocks at once).
+		for i := 0; i < cost.CopyWrites; i++ {
+			c.meters[bank].RecordGapMove()
+			c.energy.AddMigration(c.em)
+		}
+		b.freeAt = now + sim.Tick(cost.CopyWrites)*(c.cfg.TRCD+c.cfg.Device.WriteLatency(nvm.WriteNormal))
+		if c.trace != nil {
+			c.trace.Instant(xtrace.BankTrack(bank), c.remapName, "remap",
+				now, w.Line, uint64(cost.CopyWrites))
+		}
 	}
+}
+
+// bankIdle reports whether every bank is idle (no in-flight operation).
+func (c *Controller) bankIdle() bool {
+	for b := range c.banks {
+		if c.banks[b].cur != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Drain runs the memory system until every queued request has completed
+// and every bank is idle. Housekeeping timers (Wear Quota periods, the
+// eager pump) are kernel daemon events, so they never keep Drain alive —
+// this terminates for every policy, including +WQ and Eager.
+func (c *Controller) Drain() {
+	c.k.AdvanceUntil(func() bool {
+		return c.readQ.size == 0 && c.writeQ.size == 0 && c.eagerQ.size == 0 && c.bankIdle()
+	})
 }

@@ -1,0 +1,223 @@
+package mem
+
+import (
+	"testing"
+	"time"
+
+	"mellow/internal/config"
+	"mellow/internal/policy"
+	"mellow/internal/sim"
+)
+
+// drainDeadline bounds every Drain() regression run. A hang here is the
+// original bug: self-rescheduling housekeeping timers (the Wear Quota
+// period, the eager pump) kept the kernel non-empty forever.
+const drainDeadline = 30 * time.Second
+
+// mustDrain runs c.Drain() under a deadline and fails the test if it
+// does not come back.
+func mustDrain(t *testing.T, name string, c *Controller) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		c.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(drainDeadline):
+		t.Fatalf("%s: Drain() hung past %v (housekeeping timers kept the kernel alive)", name, drainDeadline)
+	}
+}
+
+// TestDrainTerminatesEveryPolicy pins the headline bugfix: Drain()
+// reaches quiescence for the full Figure 10–16 policy line-up, including
+// every +WQ variant whose quota period timer re-arms itself forever.
+func TestDrainTerminatesEveryPolicy(t *testing.T) {
+	specs := append(policy.EvaluationSet(), policy.BEMellow().WithWQ())
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			k, c := newCtl(spec)
+			if spec.Eager {
+				fed := 0
+				c.SetEagerSource(func() (uint64, bool) {
+					if fed >= 8 {
+						return 0, false
+					}
+					fed++
+					return lineForBank(fed%16, 300+fed), true
+				})
+			}
+			for i := 0; i < 200; i++ {
+				c.SubmitWrite(uint64(i)*7, k.Now())
+				if i%4 == 0 {
+					r := c.SubmitRead(uint64(i)*7^1, k.Now())
+					c.WaitRead(r)
+				}
+			}
+			mustDrain(t, spec.Name, c)
+			s := c.Snapshot()
+			if got := s.WritesDone + s.Coalesced; got != 200 {
+				t.Errorf("after drain: %d writes accounted, want 200", got)
+			}
+			rq, wq, eq := c.QueueDepths()
+			if rq != 0 || wq != 0 || eq != 0 {
+				t.Errorf("after drain: queues %d/%d/%d, want empty", rq, wq, eq)
+			}
+			// The kernel may still hold daemon events, but no work.
+			if k.PendingWork() != 0 {
+				t.Errorf("after drain: %d work events pending", k.PendingWork())
+			}
+		})
+	}
+}
+
+// TestDrainRegressionWearQuota is the ISSUE's pinned regression: the
+// exact bench scenario that previously required a bounded-horizon
+// workaround, run to quiescence under BE-Mellow+WQ.
+func TestDrainRegressionWearQuota(t *testing.T) {
+	k, c := newCtl(policy.BEMellow().WithWQ())
+	for i := 0; i < 500; i++ {
+		line := uint64(i) * 7
+		c.SubmitWrite(line, k.Now())
+		r := c.SubmitRead(line^1, k.Now())
+		if i&7 == 0 {
+			c.SubmitRead(line, k.Now())
+		}
+		c.WaitRead(r)
+	}
+	mustDrain(t, "BE-Mellow+WQ", c)
+	if k.Pending() == 0 {
+		t.Error("quota period timer was cancelled, not left as a daemon event")
+	}
+	// Drain is idempotent and time keeps advancing across it.
+	now := k.Now()
+	mustDrain(t, "BE-Mellow+WQ (again)", c)
+	if k.Now() != now {
+		t.Errorf("idle re-drain moved time %d -> %d", now, k.Now())
+	}
+}
+
+// TestDrainHysteresisBoundaries pins the §VI-C write-drain flip points:
+// drain mode engages when the write queue reaches DrainHigh (>=) and
+// releases when it falls back to DrainLow (<=), one transition per
+// update. The degenerate DrainHigh == DrainLow config collapses the
+// hysteresis window to a single flip point.
+func TestDrainHysteresisBoundaries(t *testing.T) {
+	mkCtl := func(low, high int) *Controller {
+		cfg := config.Default().Memory
+		cfg.DrainLow, cfg.DrainHigh = low, high
+		k := &sim.Kernel{}
+		return New(k, cfg, policy.Norm())
+	}
+	cases := []struct {
+		name      string
+		low, high int
+		draining  bool // state before the update
+		size      int  // write queue occupancy
+		want      bool // state after the update
+	}{
+		{"below high stays off", 16, 32, false, 31, false},
+		{"at high flips on", 16, 32, false, 32, true},
+		{"above high flips on", 16, 32, false, 33, true},
+		{"above low stays on", 16, 32, true, 17, true},
+		{"at low flips off", 16, 32, true, 16, false},
+		{"below low flips off", 16, 32, true, 15, false},
+		{"off between thresholds stays off", 16, 32, false, 20, false},
+		{"zero low drains to empty", 0, 32, true, 1, true},
+		{"zero low releases empty", 0, 32, true, 0, false},
+		// Degenerate window: the same occupancy that engages drain mode
+		// also releases it on the next evaluation — each update still
+		// performs at most one transition.
+		{"degenerate at point flips on", 24, 24, false, 24, true},
+		{"degenerate at point flips off", 24, 24, true, 24, false},
+		{"degenerate below stays off", 24, 24, false, 23, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := mkCtl(tc.low, tc.high)
+			if tc.draining {
+				// Enter drain mode through the real path first.
+				c.writeQ.size = tc.high
+				c.updateDrainState(0)
+				if !c.draining {
+					t.Fatal("setup: could not enter drain mode")
+				}
+			}
+			c.writeQ.size = tc.size
+			c.updateDrainState(1)
+			if c.draining != tc.want {
+				t.Errorf("low=%d high=%d draining=%v size=%d: got %v, want %v",
+					tc.low, tc.high, tc.draining, tc.size, c.draining, tc.want)
+			}
+		})
+	}
+}
+
+// TestGoldenPreRefactorBitIdentity pins the Start-Gap Leveler backend
+// byte-for-byte to the pre-refactor controller: the values below were
+// captured (with %.17g float formatting) from the code that called
+// wear.StartGap directly, before the Leveler interface existed. Any
+// drift in mapping, remap cost charging, wear, energy or event ordering
+// changes one of these numbers.
+func TestGoldenPreRefactorBitIdentity(t *testing.T) {
+	type golden struct {
+		spec        policy.Spec
+		now         sim.Tick
+		writes      uint64
+		reads       uint64
+		gapMoves    uint64
+		drains      uint64
+		totalDamage float64
+		energyPJ    float64
+		fired       uint64
+	}
+	goldens := []golden{
+		{policy.Norm(), 4558740, 4000, 4000, 32, 0, 4032, 4711343.7999999123, 20032},
+		{policy.BEMellow().WithSC(), 4577090, 4000, 4000, 32, 0, 623.05987654321109, 6480189.2592221275, 24456},
+		{policy.BEMellow().WithSC().WithWQ(), 4577090, 4000, 4000, 32, 0, 623.05987654321109, 6480189.2592221275, 24460},
+	}
+	for _, g := range goldens {
+		t.Run(g.spec.Name, func(t *testing.T) {
+			k := &sim.Kernel{}
+			c := New(k, config.Default().Memory, g.spec)
+			for i := 0; i < 4000; i++ {
+				line := uint64(i) * 7
+				c.SubmitWrite(line, k.Now())
+				r := c.SubmitRead(line^1, k.Now())
+				if i&7 == 0 {
+					c.SubmitRead(line, k.Now())
+				}
+				c.WaitRead(r)
+			}
+			k.AdvanceTo(k.Now() + sim.NS(2_000_000))
+			s := c.Snapshot()
+			var damage float64
+			for b := 0; b < 16; b++ {
+				damage += c.Meter(b).Damage()
+			}
+			if k.Now() != g.now {
+				t.Errorf("now = %d, want %d", k.Now(), g.now)
+			}
+			if s.WritesDone != g.writes || s.Reads != g.reads {
+				t.Errorf("writes/reads = %d/%d, want %d/%d", s.WritesDone, s.Reads, g.writes, g.reads)
+			}
+			if s.GapMoves != g.gapMoves {
+				t.Errorf("gap moves = %d, want %d", s.GapMoves, g.gapMoves)
+			}
+			if s.Drains != g.drains {
+				t.Errorf("drains = %d, want %d", s.Drains, g.drains)
+			}
+			if damage != g.totalDamage {
+				t.Errorf("total damage = %.17g, want %.17g", damage, g.totalDamage)
+			}
+			if s.EnergyPJ != g.energyPJ {
+				t.Errorf("energy = %.17g pJ, want %.17g", s.EnergyPJ, g.energyPJ)
+			}
+			if k.Fired() != g.fired {
+				t.Errorf("events fired = %d, want %d", k.Fired(), g.fired)
+			}
+		})
+	}
+}

@@ -23,7 +23,8 @@ type Snapshot struct {
 	// WritesByMode / CancelledByMode aggregate bank write traffic.
 	WritesByMode    [4]uint64
 	CancelledByMode [4]uint64
-	// GapMoves counts Start-Gap migration writes.
+	// GapMoves counts wear-leveling migration writes (gap moves under
+	// Start-Gap; copy writes under the other Leveler backends).
 	GapMoves uint64
 	// BankAttempts is every request a bank serviced or started: reads,
 	// completed writes, cancelled attempts and migrations (Figure 15).
@@ -41,8 +42,9 @@ type Snapshot struct {
 	// BankUtilization per bank, and the average (Figures 3, 12, 18b).
 	BankUtilization []float64
 	AvgUtilization  float64
-	// LifetimeYears is the §V lifetime: min over banks, Start-Gap
-	// efficiency applied, assuming the workload repeats (Figures 2, 11).
+	// LifetimeYears is the §V lifetime: min over banks, the active
+	// leveler's efficiency applied, assuming the workload repeats
+	// (Figures 2, 11).
 	LifetimeYears float64
 	// MaxBankDamage is the worst bank's damage (normal-write units).
 	MaxBankDamage float64
@@ -142,7 +144,7 @@ func (c *Controller) Snapshot() Snapshot {
 			maxDamage = d.Damage
 		}
 		y := wear.LifetimeYears(d.Damage, c.blocksPerBank, c.cfg.Device.BaseEndurance,
-			c.cfg.StartGapEfficiency, s.Window)
+			c.levelEff, s.Window)
 		if first || y < lifetime {
 			lifetime = y
 			first = false
@@ -287,6 +289,7 @@ func (c *Controller) CollectMetrics(g *metrics.Gatherer) {
 		"Bank-serviced read latency (arrival to data return).", 1e-9, c.readLat)
 
 	wear.CollectMeters(g, c.meters)
+	wear.CollectLevelers(g, c.levs)
 }
 
 // QueueDepths reports current queue occupancy (tests, debugging).
@@ -302,6 +305,9 @@ func (c *Controller) Quota(bank int) *wear.Quota { return c.quotas[bank] }
 
 // Meter exposes a bank's wear meter (tests).
 func (c *Controller) Meter(bank int) *wear.Meter { return c.meters[bank] }
+
+// Leveler exposes a bank's wear-leveling backend (tests).
+func (c *Controller) Leveler(bank int) wear.Leveler { return c.levs[bank] }
 
 // Spec returns the active policy (a value copy).
 func (c *Controller) Spec() policy.Spec { return c.spec }

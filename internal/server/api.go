@@ -76,6 +76,11 @@ type JobRequest struct {
 	// TimeoutSeconds caps this job's execution (bounded by the server's
 	// per-job timeout). It does not enter the job's cache key.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Leveler selects the wear-leveling backend ("startgap", "wolfram"
+	// or "softwear") for the job's simulations, overriding the effective
+	// configuration's Memory.WearLeveler. It changes the simulated
+	// machine, so it enters the cache key through the config.
+	Leveler string `json:"leveler,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/jobs:batch: a set of submissions
@@ -155,6 +160,9 @@ func normalize(req JobRequest, base config.Config) (canonicalJob, string, error)
 	}
 	if req.Detailed != nil {
 		c.Config.Run.DetailedInstructions = *req.Detailed
+	}
+	if req.Leveler != "" {
+		c.Config.Memory.WearLeveler = req.Leveler
 	}
 	if err := c.Config.Validate(); err != nil {
 		return c, "", err

@@ -475,6 +475,28 @@ func TestKeyNormalization(t *testing.T) {
 	if k5 == k1 {
 		t.Error("interval_ns did not change the content address")
 	}
+	// The wear-leveling backend changes the simulated machine, so it is
+	// identity; spelling out the default is not.
+	c6, k6, err := normalize(JobRequest{Workload: "stream", Policy: "Norm", Leveler: "wolfram"}, *base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c6.Config.Memory.WearLeveler != "wolfram" {
+		t.Errorf("leveler not applied: %q", c6.Config.Memory.WearLeveler)
+	}
+	if k6 == k1 {
+		t.Error("leveler did not change the content address")
+	}
+	_, k7, err := normalize(JobRequest{Workload: "stream", Policy: "Norm", Leveler: "startgap"}, *base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k7 != k1 {
+		t.Error("explicit default leveler changed the content address")
+	}
+	if _, _, err := normalize(JobRequest{Workload: "stream", Policy: "Norm", Leveler: "bogus"}, *base); err == nil {
+		t.Error("unknown leveler accepted")
+	}
 }
 
 // TestHealthAndMetrics spot-checks the observability endpoints.

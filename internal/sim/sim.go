@@ -85,12 +85,13 @@ const maxTick = Tick(^uint64(0))
 // pendingEvent is one slab slot: timing, ordering, the callback (either
 // a closure or a typed handler+payload), and the intrusive bucket link.
 type pendingEvent struct {
-	at   Tick
-	seq  uint64 // insertion order; breaks ties deterministically
-	fire Event
-	h    Handler
-	a, b uint64
-	next int32 // next event in bucket / free list
+	at     Tick
+	seq    uint64 // insertion order; breaks ties deterministically
+	fire   Event
+	h      Handler
+	a, b   uint64
+	daemon bool  // housekeeping event: never keeps Drain alive
+	next   int32 // next event in bucket / free list
 }
 
 // ProbeID names a registered periodic probe for removal.
@@ -117,6 +118,7 @@ type Kernel struct {
 	slab     []pendingEvent
 	freeHead int32
 	npending int
+	ndaemon  int // pending daemon (housekeeping) events, a subset of npending
 
 	// wheel buckets: head/tail slab indices per slot, plus an occupancy
 	// bitmap so the next non-empty bucket is found with bit scans.
@@ -162,6 +164,11 @@ func (k *Kernel) Now() Tick { return k.now }
 // Pending returns the number of scheduled events not yet fired. O(1).
 func (k *Kernel) Pending() int { return k.npending }
 
+// PendingWork returns the pending events that represent outstanding work:
+// Pending minus the daemon (housekeeping) events. Drain runs until this
+// reaches zero. O(1).
+func (k *Kernel) PendingWork() int { return k.npending - k.ndaemon }
+
 // Fired returns the total number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
@@ -187,7 +194,7 @@ func (k *Kernel) release(idx int32) {
 }
 
 // schedule places a filled slab slot into the wheel or the overflow.
-func (k *Kernel) schedule(t Tick, fn Event, h Handler, a, b uint64) {
+func (k *Kernel) schedule(t Tick, fn Event, h Handler, a, b uint64, daemon bool) {
 	if k.inProbe {
 		panic("sim: probe callbacks are read-only observers and must not schedule events")
 	}
@@ -202,8 +209,12 @@ func (k *Kernel) schedule(t Tick, fn Event, h Handler, a, b uint64) {
 	e := &k.slab[idx]
 	e.at, e.seq = t, k.seq
 	e.fire, e.h, e.a, e.b = fn, h, a, b
+	e.daemon = daemon
 	e.next = nilIdx
 	k.npending++
+	if daemon {
+		k.ndaemon++
+	}
 	if k.peekValid && t < k.peekAt {
 		k.peekAt = t
 	}
@@ -360,7 +371,7 @@ func (k *Kernel) peek() (Tick, bool) {
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) is a programming error and panics: the kernel can never run time
 // backwards. Probe callbacks are observers and may not schedule.
-func (k *Kernel) At(t Tick, fn Event) { k.schedule(t, fn, nil, 0, 0) }
+func (k *Kernel) At(t Tick, fn Event) { k.schedule(t, fn, nil, 0, 0, false) }
 
 // After schedules fn to run d ticks from now.
 func (k *Kernel) After(d Tick, fn Event) { k.At(k.now+d, fn) }
@@ -371,10 +382,25 @@ func (k *Kernel) After(d Tick, fn Event) { k.At(k.now+d, fn) }
 // travel in the event slab, so nothing escapes to the heap per event.
 // Ordering is identical to At: typed and closure events share one clock
 // and one seq counter.
-func (k *Kernel) AtEvent(t Tick, h Handler, a, b uint64) { k.schedule(t, nil, h, a, b) }
+func (k *Kernel) AtEvent(t Tick, h Handler, a, b uint64) { k.schedule(t, nil, h, a, b, false) }
 
 // AfterEvent schedules a typed event d ticks from now.
 func (k *Kernel) AfterEvent(d Tick, h Handler, a, b uint64) { k.AtEvent(k.now+d, h, a, b) }
+
+// AtDaemonEvent schedules a typed housekeeping event. Daemon events fire
+// exactly like AtEvent events — same clock, same seq stream, same (tick,
+// seq) ordering — but they represent periodic background work (a Wear
+// Quota period timer, the eager-pump heartbeat) rather than outstanding
+// requests, so Drain does not wait for them: once only daemon events
+// remain pending, Drain stops with those events still scheduled. A
+// self-rescheduling timer therefore keeps ticking across AdvanceTo and
+// AdvanceUntil but can never hang a drain (the bug this distinction
+// fixes: Kernel.Drain spun forever under Wear Quota policies because the
+// period timer always re-armed itself).
+func (k *Kernel) AtDaemonEvent(t Tick, h Handler, a, b uint64) { k.schedule(t, nil, h, a, b, true) }
+
+// AfterDaemonEvent schedules a typed housekeeping event d ticks from now.
+func (k *Kernel) AfterDaemonEvent(d Tick, h Handler, a, b uint64) { k.AtDaemonEvent(k.now+d, h, a, b) }
 
 // AddProbe registers a periodic observer: fn fires at ticks now+period,
 // now+2·period, … for as long as the kernel advances. Probes are
@@ -463,6 +489,9 @@ func (k *Kernel) stepAtMost(limit Tick) bool {
 	k.now = e.at
 	k.fired++
 	k.npending--
+	if e.daemon {
+		k.ndaemon--
+	}
 	fn, h, a, b := e.fire, e.h, e.a, e.b
 	k.release(idx)
 	if h != nil {
@@ -501,11 +530,16 @@ func (k *Kernel) AdvanceUntil(done func() bool) bool {
 	}
 }
 
-// Drain runs all remaining events. Useful at end of simulation and in
+// Drain runs events until no work remains: every non-daemon event has
+// fired. Daemon events due before outstanding work still fire in exact
+// (tick, seq) order — a quota period can close between two writes — but
+// once only daemon events remain the drain stops, leaving them scheduled
+// and the clock just before them. Self-rescheduling housekeeping timers
+// therefore never hang a drain. Useful at end of simulation and in
 // tests. It returns the number of events fired.
 func (k *Kernel) Drain() uint64 {
 	start := k.fired
-	for k.stepAtMost(maxTick) {
+	for k.npending > k.ndaemon && k.stepAtMost(maxTick) {
 	}
 	return k.fired - start
 }

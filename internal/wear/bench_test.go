@@ -1,0 +1,48 @@
+package wear
+
+import (
+	"testing"
+
+	"mellow/internal/rng"
+)
+
+// BenchmarkLevelerRemap measures each backend's steady-state Observe+Map
+// path over a uniformly random write stream on a 4Mi-block bank (the
+// Table II default). Remap intervals use the default config values, so
+// the amortized remap work is included. Steady state must be 0 allocs/op:
+// the hot path of every backend is allocation-free (wolfram's sparse
+// tables amortize map growth across its swap period).
+func BenchmarkLevelerRemap(b *testing.B) {
+	const blocks = 4 << 20
+	for _, backend := range Backends() {
+		b.Run(backend, func(b *testing.B) {
+			lv, err := NewLeveler(LevelerConfig{
+				Backend:             backend,
+				Blocks:              blocks,
+				Seed:                1,
+				StartGapPsi:         100,
+				StartGapEfficiency:  0.9,
+				WolframSwapPeriod:   100,
+				SoftWearPageBlocks:  64,
+				SoftWearEpochWrites: 4096,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(42)
+			// Warm the structures past the first remaps before timing.
+			for i := 0; i < 1<<14; i++ {
+				lv.Observe(int64(r.Uintn(blocks)))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				l := int64(r.Uintn(blocks))
+				lv.Observe(l)
+				sink += lv.Map(l)
+			}
+			_ = sink
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package wear
+
+import "fmt"
+
+// Leveler is the pluggable wear-leveling backend contract. A Leveler
+// owns one bank's logical-to-physical block mapping: it remaps block
+// addresses, observes the bank's demand writes, and reports the remap
+// work each observation triggered so the memory controller can charge
+// the backend's latency and extra-write costs. All methods are
+// deterministic — two levelers built from the same LevelerConfig and fed
+// the same write sequence produce identical mappings and identical
+// costs, which is what keeps simulation results content-addressable.
+type Leveler interface {
+	// Name returns the backend identifier ("startgap", "wolfram",
+	// "softwear").
+	Name() string
+	// Map translates a logical block index in [0, Blocks()) to its
+	// current physical block index in [0, PhysBlocks()). The mapping is
+	// injective at every instant and changes only inside Observe.
+	Map(logical int64) int64
+	// Observe records one completed demand write to a logical block and
+	// returns the leveling work it triggered. A zero RemapCost means the
+	// mapping did not change.
+	Observe(logical int64) RemapCost
+	// Blocks returns the logical block count; PhysBlocks the physical
+	// count (>= Blocks when the backend keeps spare blocks, like
+	// Start-Gap's gap).
+	Blocks() int64
+	PhysBlocks() int64
+	// Moves returns the number of remap operations performed so far.
+	Moves() uint64
+	// Efficiency is the fraction of ideal within-bank leveling the §V
+	// lifetime estimator assumes for this backend (1.0 = perfectly
+	// uniform wear).
+	Efficiency() float64
+}
+
+// RemapCost is the overhead of one leveling action, charged through the
+// memory controller: each copy write is one array read plus one normal
+// write occupying the bank, and each adds one normal write of damage to
+// the bank's wear meter.
+type RemapCost struct {
+	// CopyWrites is the number of physical blocks rewritten by the
+	// action (Start-Gap: 1 per gap move; WoLFRaM: 2 per block swap;
+	// SoftWear: 2·pageBlocks per page swap).
+	CopyWrites int
+}
+
+// Backend names, as spelled in config.Memory.WearLeveler, mellowd job
+// requests and the mellowbench/mellowsim -leveler flag.
+const (
+	BackendStartGap = "startgap"
+	BackendWolfram  = "wolfram"
+	BackendSoftWear = "softwear"
+)
+
+// Backends lists the selectable backend names in canonical order.
+func Backends() []string {
+	return []string{BackendStartGap, BackendWolfram, BackendSoftWear}
+}
+
+// LevelerConfig carries everything a backend constructor needs. It is a
+// plain-parameter mirror of the config.Memory leveling fields so the
+// wear package does not import config.
+type LevelerConfig struct {
+	// Backend selects the scheme; "" means BackendStartGap.
+	Backend string
+	// Blocks is the bank's logical block count.
+	Blocks int64
+	// Seed derives the backend's deterministic random stream (WoLFRaM's
+	// swap-partner choice). The controller passes the bank index.
+	Seed uint64
+	// StartGapPsi / StartGapEfficiency parameterize the startgap backend.
+	StartGapPsi        int
+	StartGapEfficiency float64
+	// WolframSwapPeriod is the wolfram backend's writes-per-swap interval.
+	WolframSwapPeriod int
+	// SoftWearPageBlocks (power of two) and SoftWearEpochWrites
+	// parameterize the softwear backend's page size and remap epoch.
+	SoftWearPageBlocks  int
+	SoftWearEpochWrites int
+}
+
+// NewLeveler constructs the configured backend.
+func NewLeveler(c LevelerConfig) (Leveler, error) {
+	switch c.Backend {
+	case "", BackendStartGap:
+		if c.StartGapEfficiency <= 0 || c.StartGapEfficiency > 1 {
+			return nil, fmt.Errorf("wear: startgap efficiency %v out of (0,1]", c.StartGapEfficiency)
+		}
+		sg := NewStartGap(c.Blocks, c.StartGapPsi)
+		sg.eff = c.StartGapEfficiency
+		return sg, nil
+	case BackendWolfram:
+		return NewWolfram(c.Blocks, c.WolframSwapPeriod, c.Seed)
+	case BackendSoftWear:
+		return NewSoftWear(c.Blocks, c.SoftWearPageBlocks, c.SoftWearEpochWrites)
+	default:
+		return nil, fmt.Errorf("wear: unknown leveler backend %q (want startgap, wolfram or softwear)", c.Backend)
+	}
+}

@@ -1,0 +1,224 @@
+package wear
+
+import (
+	"testing"
+
+	"mellow/internal/rng"
+)
+
+// newTestLeveler builds a backend over a small bank with remap intervals
+// tight enough that short write sequences trigger many migrations.
+func newTestLeveler(t *testing.T, backend string, blocks int64) Leveler {
+	t.Helper()
+	lv, err := NewLeveler(LevelerConfig{
+		Backend:             backend,
+		Blocks:              blocks,
+		Seed:                7,
+		StartGapPsi:         5,
+		StartGapEfficiency:  0.9,
+		WolframSwapPeriod:   3,
+		SoftWearPageBlocks:  4,
+		SoftWearEpochWrites: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lv
+}
+
+// checkBijection fails unless the leveler's current mapping is injective
+// over the logical block space (no two logical blocks share a frame) and
+// lands inside [0, PhysBlocks()).
+func checkBijection(t *testing.T, lv Leveler, when string) {
+	t.Helper()
+	seen := make(map[int64]int64, lv.Blocks())
+	for l := int64(0); l < lv.Blocks(); l++ {
+		p := lv.Map(l)
+		if p < 0 || p >= lv.PhysBlocks() {
+			t.Fatalf("%s %s: Map(%d) = %d out of [0,%d)", lv.Name(), when, l, p, lv.PhysBlocks())
+		}
+		if prev, dup := seen[p]; dup {
+			t.Fatalf("%s %s: blocks %d and %d both map to frame %d", lv.Name(), when, prev, l, p)
+		}
+		seen[p] = l
+	}
+}
+
+// TestLevelerBijectionProperty drives every backend with arbitrary
+// (seeded-random) write sequences of several shapes and asserts the
+// remap stays a bijection over the block address space at every
+// checkpoint. This is the interface's core invariant: a mapping that
+// ever aliases two logical blocks corrupts the simulated memory.
+func TestLevelerBijectionProperty(t *testing.T) {
+	const blocks = 64
+	patterns := map[string]func(r *rng.Source, i int) int64{
+		"uniform":    func(r *rng.Source, i int) int64 { return int64(r.Uintn(blocks)) },
+		"hotspot":    func(r *rng.Source, i int) int64 { return int64(r.Uintn(4)) },
+		"sequential": func(r *rng.Source, i int) int64 { return int64(i % blocks) },
+		"zipf-ish": func(r *rng.Source, i int) int64 {
+			if r.Uintn(4) == 0 {
+				return int64(r.Uintn(blocks))
+			}
+			return int64(r.Uintn(8))
+		},
+	}
+	for _, backend := range Backends() {
+		for name, pick := range patterns {
+			t.Run(backend+"/"+name, func(t *testing.T) {
+				for seed := uint64(0); seed < 4; seed++ {
+					lv := newTestLeveler(t, backend, blocks)
+					r := rng.New(seed)
+					checkBijection(t, lv, "initially")
+					for i := 0; i < 2000; i++ {
+						l := pick(r, i)
+						if cost := lv.Observe(l); cost.CopyWrites > 0 {
+							checkBijection(t, lv, "after remap")
+						}
+						if i%257 == 0 {
+							checkBijection(t, lv, "at checkpoint")
+						}
+					}
+					checkBijection(t, lv, "at end")
+					if lv.Moves() == 0 {
+						t.Fatalf("%s/%s: no remaps in 2000 writes; test exercised nothing", backend, name)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLevelerDeterminism: equal configs fed equal sequences produce
+// identical mappings and identical remap-op counts — the property that
+// keeps simulation results content-addressable.
+func TestLevelerDeterminism(t *testing.T) {
+	const blocks = 64
+	for _, backend := range Backends() {
+		a := newTestLeveler(t, backend, blocks)
+		b := newTestLeveler(t, backend, blocks)
+		r := rng.New(99)
+		var costA, costB int
+		for i := 0; i < 3000; i++ {
+			l := int64(r.Uintn(blocks))
+			costA += a.Observe(l).CopyWrites
+			costB += b.Observe(l).CopyWrites
+		}
+		if costA != costB || a.Moves() != b.Moves() {
+			t.Errorf("%s: twin runs diverged: cost %d/%d, moves %d/%d",
+				backend, costA, costB, a.Moves(), b.Moves())
+		}
+		for l := int64(0); l < blocks; l++ {
+			if a.Map(l) != b.Map(l) {
+				t.Errorf("%s: twin runs map block %d to %d vs %d", backend, l, a.Map(l), b.Map(l))
+			}
+		}
+	}
+}
+
+// TestLevelerSeedsDecorrelate: wolfram banks with different seeds pick
+// different swap partners (the controller seeds per bank).
+func TestLevelerSeedsDecorrelate(t *testing.T) {
+	mk := func(seed uint64) Leveler {
+		lv, err := NewLeveler(LevelerConfig{
+			Backend: BackendWolfram, Blocks: 256, Seed: seed, WolframSwapPeriod: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lv
+	}
+	a, b := mk(0), mk(1)
+	for i := 0; i < 500; i++ {
+		a.Observe(int64(i % 256))
+		b.Observe(int64(i % 256))
+	}
+	same := 0
+	for l := int64(0); l < 256; l++ {
+		if a.Map(l) == b.Map(l) {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Error("wolfram banks with different seeds produced identical permutations")
+	}
+}
+
+// TestNewLevelerValidation pins the factory's error surface.
+func TestNewLevelerValidation(t *testing.T) {
+	base := LevelerConfig{
+		Blocks: 64, StartGapPsi: 100, StartGapEfficiency: 0.9,
+		WolframSwapPeriod: 100, SoftWearPageBlocks: 4, SoftWearEpochWrites: 16,
+	}
+	bad := map[string]func(c *LevelerConfig){
+		"unknown backend":      func(c *LevelerConfig) { c.Backend = "roundrobin" },
+		"zero sg efficiency":   func(c *LevelerConfig) { c.StartGapEfficiency = 0 },
+		"sg efficiency over 1": func(c *LevelerConfig) { c.StartGapEfficiency = 1.5 },
+		"zero wolfram period":  func(c *LevelerConfig) { c.Backend = BackendWolfram; c.WolframSwapPeriod = 0 },
+		"non-pow2 page":        func(c *LevelerConfig) { c.Backend = BackendSoftWear; c.SoftWearPageBlocks = 3 },
+		"page exceeds bank":    func(c *LevelerConfig) { c.Backend = BackendSoftWear; c.SoftWearPageBlocks = 128 },
+		"zero epoch":           func(c *LevelerConfig) { c.Backend = BackendSoftWear; c.SoftWearEpochWrites = 0 },
+	}
+	for name, mutate := range bad {
+		c := base
+		mutate(&c)
+		if _, err := NewLeveler(c); err == nil {
+			t.Errorf("%s: NewLeveler accepted invalid config", name)
+		}
+	}
+	// Empty backend means startgap.
+	lv, err := NewLeveler(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.Name() != BackendStartGap {
+		t.Errorf("default backend = %q, want startgap", lv.Name())
+	}
+	if lv.PhysBlocks() != 65 {
+		t.Errorf("startgap phys blocks = %d, want 65 (one gap)", lv.PhysBlocks())
+	}
+}
+
+// TestQuotaFirstPeriodEdgeCases pins the StartPeriod period-0 semantics
+// alongside TestQuotaExceedLogic: the opening period has no history, so
+// it can neither report Exceeded nor flip, regardless of the damage
+// argument, and the previous-period count never goes negative (periods
+// is unsigned and compared before increment).
+func TestQuotaFirstPeriodEdgeCases(t *testing.T) {
+	for _, damage := range []float64{0, 5, 1e12} {
+		q := &Quota{bound: 10}
+		if flipped := q.StartPeriod(damage); flipped {
+			t.Errorf("StartPeriod(%v) on period 0 flipped", damage)
+		}
+		if q.Exceeded() {
+			t.Errorf("StartPeriod(%v) on period 0 reported exceeded", damage)
+		}
+		if q.Periods() != 1 {
+			t.Errorf("periods after first StartPeriod = %d, want 1", q.Periods())
+		}
+	}
+	// The first period with history (period 1) applies the bound
+	// normally, and the flip signal fires exactly on transitions.
+	q := &Quota{bound: 10}
+	q.StartPeriod(1e12) // ignored: no history yet
+	if flipped := q.StartPeriod(25); !flipped || !q.Exceeded() {
+		t.Error("period 1 with damage 25 > bound 10 did not flip to exceeded")
+	}
+	if flipped := q.StartPeriod(25); flipped {
+		t.Error("unchanged exceed state reported a flip")
+	}
+	if flipped := q.StartPeriod(25); !flipped || q.Exceeded() {
+		t.Error("recovery (25 < 30) did not flip back")
+	}
+}
+
+// TestQuotaZeroBound: a degenerate zero bound flags any damage at all
+// once history exists, and still never flags period 0.
+func TestQuotaZeroBound(t *testing.T) {
+	q := &Quota{bound: 0}
+	if q.StartPeriod(1) || q.Exceeded() {
+		t.Error("period 0 flagged despite zero bound")
+	}
+	if !q.StartPeriod(1) || !q.Exceeded() {
+		t.Error("damage 1 > bound 0 not flagged after history exists")
+	}
+}

@@ -172,10 +172,21 @@ func NewQuota(blocksPerBank int64, enduranceBlk float64, samplePeriod sim.Tick,
 // cumulative damage; it computes ExceedQuota for the period just begun
 // and reports whether the decision flipped relative to the previous
 // period (the event execution tracing records).
+//
+// The first call opens period 0: Num_previous_periods is zero, so the
+// quota can never start exceeded — §IV-C's budget is damage per
+// *completed* period, and with no history there is nothing to have
+// overspent. The guard matters when a caller seeds period 0 with
+// damage carried in from outside the quota window (e.g. a warmup
+// phase): without it the formula would flag ExceedQuota > 0 on history
+// the quota never granted a budget for.
 func (q *Quota) StartPeriod(cumulativeDamage float64) (flipped bool) {
 	// ExceedQuota = ΣWear_bank − WearBound_bank × Num_previous_periods.
+	// q.periods counts completed periods here (it increments below), so
+	// the subtracted term is never negative: periods is unsigned and
+	// only ever grows.
 	was := q.exceed
-	q.exceed = cumulativeDamage-q.bound*float64(q.periods) > 0
+	q.exceed = q.periods > 0 && cumulativeDamage-q.bound*float64(q.periods) > 0
 	q.periods++
 	return q.exceed != was
 }
@@ -233,6 +244,24 @@ func CollectMeters(g *metrics.Gatherer, meters []*Meter) {
 		}
 		gap += m.GapWrites()
 	}
-	g.Counter("sim_wear_gap_moves_total", "Start-Gap migration writes across banks.", gap)
+	g.Counter("sim_wear_gap_moves_total", "Wear-leveling migration writes across banks.", gap)
 	g.Gauge("sim_wear_max_bank_damage", "Worst bank's cumulative damage in normal-write units.", maxDamage)
+}
+
+// CollectLevelers publishes the leveling backend's activity into a
+// per-run metrics registry, scoped by backend so runs under different
+// levelers expose distinguishable sim_wear_* series. Read-only.
+func CollectLevelers(g *metrics.Gatherer, levs []Leveler) {
+	if len(levs) == 0 {
+		return
+	}
+	backend := levs[0].Name()
+	var moves uint64
+	for _, lv := range levs {
+		moves += lv.Moves()
+	}
+	g.CounterL("sim_wear_remap_ops_total", "Wear-leveling remap operations across banks (gap moves, block swaps, page swaps).",
+		"backend", backend, moves)
+	g.GaugeL("sim_wear_leveler_efficiency", "Assumed fraction of ideal within-bank leveling for the active backend.",
+		"backend", backend, levs[0].Efficiency())
 }

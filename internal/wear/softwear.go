@@ -1,0 +1,140 @@
+package wear
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// softwearEfficiency is the within-bank leveling efficiency the lifetime
+// model assumes for SoftWear-style leveling: page-granularity remapping
+// levels wear across frames but cannot touch the imbalance between
+// blocks inside one page, so it trails the fine-grained schemes.
+const softwearEfficiency = 0.85
+
+// SoftWear is a SoftWear-style software-only page-granularity
+// wear-leveling remapper for one bank (Hakert et al., arXiv 2004.03244:
+// "SoftWear: Software-Only In-Memory Wear-Leveling for Non-Volatile
+// Main Memory").
+//
+// The scheme needs no custom hardware: the OS keeps per-page write
+// counters and periodically migrates hot pages away from worn physical
+// frames by rewriting page contents and updating the page table. The
+// model divides the bank into pages of pageBlocks 64-byte blocks and,
+// every epochWrites demand writes, swaps the epoch's hottest logical
+// page with the logical page occupying the least-written physical
+// frame. One remap therefore copies two whole pages — 2·pageBlocks copy
+// writes — which is far costlier per action than Start-Gap's single
+// block copy, but actions are correspondingly rare; the controller
+// charges the whole copy as bank-busy time, which is how the software
+// scheme's page-migration pauses reach IPC.
+type SoftWear struct {
+	n           int64
+	pageShift   uint
+	pageMask    int64
+	pages       int64
+	fwd, inv    []int32  // page-level permutation and its inverse
+	epochHot    []uint32 // per-logical-page writes in the current epoch
+	frameWrites []uint64 // lifetime writes absorbed per physical frame
+	epochWrites int
+	since       int
+	moves       uint64
+}
+
+// NewSoftWear creates a remapper for a bank of n blocks with pages of
+// pageBlocks blocks (a power of two dividing n), evaluating a remap
+// every epochWrites writes.
+func NewSoftWear(n int64, pageBlocks, epochWrites int) (*SoftWear, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("wear: softwear needs positive block count, got %d", n)
+	}
+	if pageBlocks <= 0 || bits.OnesCount64(uint64(pageBlocks)) != 1 {
+		return nil, fmt.Errorf("wear: softwear page size %d blocks is not a positive power of two", pageBlocks)
+	}
+	if n%int64(pageBlocks) != 0 {
+		return nil, fmt.Errorf("wear: softwear page size %d does not divide %d blocks", pageBlocks, n)
+	}
+	if epochWrites <= 0 {
+		return nil, fmt.Errorf("wear: softwear needs a positive epoch, got %d", epochWrites)
+	}
+	pages := n / int64(pageBlocks)
+	s := &SoftWear{
+		n:           n,
+		pageShift:   uint(bits.TrailingZeros64(uint64(pageBlocks))),
+		pageMask:    int64(pageBlocks) - 1,
+		pages:       pages,
+		fwd:         make([]int32, pages),
+		inv:         make([]int32, pages),
+		epochHot:    make([]uint32, pages),
+		frameWrites: make([]uint64, pages),
+		epochWrites: epochWrites,
+	}
+	for p := int64(0); p < pages; p++ {
+		s.fwd[p] = int32(p)
+		s.inv[p] = int32(p)
+	}
+	return s, nil
+}
+
+// Name returns the backend identifier.
+func (s *SoftWear) Name() string { return BackendSoftWear }
+
+// Map translates a logical block through the page table: the page index
+// remaps, the offset within the page is untouched.
+func (s *SoftWear) Map(logical int64) int64 {
+	if logical < 0 || logical >= s.n {
+		panic(fmt.Sprintf("wear: logical block %d out of [0,%d)", logical, s.n))
+	}
+	return int64(s.fwd[logical>>s.pageShift])<<s.pageShift | logical&s.pageMask
+}
+
+// Observe counts the write against its logical page and physical frame;
+// at each epoch boundary the hottest page of the epoch migrates to the
+// least-written frame (a page swap), unless it already sits there.
+func (s *SoftWear) Observe(logical int64) RemapCost {
+	page := logical >> s.pageShift
+	s.epochHot[page]++
+	s.frameWrites[s.fwd[page]]++
+	s.since++
+	if s.since < s.epochWrites {
+		return RemapCost{}
+	}
+	s.since = 0
+	// Hottest logical page this epoch and coldest physical frame overall;
+	// ties break toward the lowest index, keeping runs deterministic.
+	hot, cold := int64(0), int64(0)
+	for p := int64(1); p < s.pages; p++ {
+		if s.epochHot[p] > s.epochHot[hot] {
+			hot = p
+		}
+		if s.frameWrites[p] < s.frameWrites[cold] {
+			cold = p
+		}
+	}
+	for p := range s.epochHot {
+		s.epochHot[p] = 0
+	}
+	if int64(s.fwd[hot]) == cold {
+		return RemapCost{} // the hot page already owns the coldest frame
+	}
+	s.moves++
+	// Swap the hot page with whichever logical page holds the cold frame.
+	other := int64(s.inv[cold])
+	oldFrame := s.fwd[hot]
+	s.fwd[hot], s.fwd[other] = int32(cold), oldFrame
+	s.inv[cold], s.inv[oldFrame] = int32(hot), int32(other)
+	// Both pages rewrite in full at their new frames.
+	return RemapCost{CopyWrites: 2 * int(s.pageMask+1)}
+}
+
+// Blocks returns the logical block count.
+func (s *SoftWear) Blocks() int64 { return s.n }
+
+// PhysBlocks returns the physical block count; pages swap in place, so
+// there is no spare.
+func (s *SoftWear) PhysBlocks() int64 { return s.n }
+
+// Moves returns the number of page swaps performed.
+func (s *SoftWear) Moves() uint64 { return s.moves }
+
+// Efficiency returns the assumed fraction of ideal leveling.
+func (s *SoftWear) Efficiency() float64 { return softwearEfficiency }

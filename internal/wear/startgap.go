@@ -20,6 +20,7 @@ type StartGap struct {
 	psi       int   // writes per gap move
 	sinceMove int
 	moves     uint64
+	eff       float64 // assumed leveling efficiency (§IV-C: 0.9)
 }
 
 // NewStartGap creates a remapper for a bank of n logical blocks, moving
@@ -31,7 +32,7 @@ func NewStartGap(n int64, psi int) *StartGap {
 	if psi <= 0 {
 		panic(fmt.Sprintf("wear: StartGap needs positive psi, got %d", psi))
 	}
-	return &StartGap{n: n, gap: n, psi: psi}
+	return &StartGap{n: n, gap: n, psi: psi, eff: 0.9}
 }
 
 // Map translates a logical block index within the bank to its current
@@ -83,3 +84,25 @@ func (s *StartGap) Moves() uint64 { return s.moves }
 
 // Blocks returns the logical block count.
 func (s *StartGap) Blocks() int64 { return s.n }
+
+// The Leveler interface (see leveler.go). Observe adapts OnWrite: the
+// written block is irrelevant to Start-Gap (the gap walks regardless of
+// the traffic), and a wrap move copies no data.
+
+// Name returns the backend identifier.
+func (s *StartGap) Name() string { return BackendStartGap }
+
+// PhysBlocks returns the physical block count: n data blocks plus the gap.
+func (s *StartGap) PhysBlocks() int64 { return s.n + 1 }
+
+// Observe records one demand write and returns the migration cost: one
+// copy write per gap move, none when the gap wraps.
+func (s *StartGap) Observe(logical int64) RemapCost {
+	if moved, rewritten := s.OnWrite(); moved && rewritten >= 0 {
+		return RemapCost{CopyWrites: 1}
+	}
+	return RemapCost{}
+}
+
+// Efficiency returns the assumed fraction of ideal leveling.
+func (s *StartGap) Efficiency() float64 { return s.eff }

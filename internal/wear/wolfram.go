@@ -1,0 +1,132 @@
+package wear
+
+import (
+	"fmt"
+
+	"mellow/internal/rng"
+)
+
+// wolframEfficiency is the within-bank leveling efficiency the lifetime
+// model assumes for WoLFRaM-style remapping. Randomized block-granularity
+// swaps spread wear more uniformly than Start-Gap's deterministic
+// rotation (which leaves a ψ-long hot trail behind the gap), but the
+// swap-period sampling still lags a moving hot set slightly.
+const wolframEfficiency = 0.95
+
+// Wolfram is a WoLFRaM-style wear-leveling remapper for one bank
+// (Yavits et al., arXiv 2010.02825: "WoLFRaM: Enhancing Wear-Leveling
+// and Fault Tolerance in Resistive Memories using Programmable Address
+// Decoders").
+//
+// WoLFRaM stores the logical-to-physical mapping inside a programmable
+// resistive address decoder (PRAD), so the decoder can hold an arbitrary
+// permutation and remapping one block costs a decoder update plus a data
+// copy — no Start-Gap-style region rotation and no spare gap block.
+// Address translation happens in the decoder, adding no lookup latency
+// on the access path. The model implements the scheme's write-access-
+// pattern-aware remapping: every swapPeriod demand writes, the block
+// just written (by construction a hot one) swaps physical locations with
+// a uniformly chosen partner, at a cost of two copy writes (each block's
+// data moves to the other's frame).
+//
+// The permutation is kept sparsely: blocks still at their identity
+// position occupy no memory, so an 8 Mi-block bank costs only as much as
+// its swap history.
+type Wolfram struct {
+	n      int64
+	fwd    map[int64]int64 // logical -> physical, identity when absent
+	inv    map[int64]int64 // physical -> logical, identity when absent
+	period int             // demand writes per swap
+	since  int
+	moves  uint64
+	src    *rng.Source
+}
+
+// NewWolfram creates a remapper for a bank of n blocks, swapping the
+// written block with a random partner every period writes. The seed
+// fixes the swap-partner stream, keeping runs deterministic.
+func NewWolfram(n int64, period int, seed uint64) (*Wolfram, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("wear: wolfram needs positive block count, got %d", n)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("wear: wolfram needs positive swap period, got %d", period)
+	}
+	return &Wolfram{
+		n:      n,
+		fwd:    make(map[int64]int64, 64),
+		inv:    make(map[int64]int64, 64),
+		period: period,
+		src:    rng.New(seed),
+	}, nil
+}
+
+// Name returns the backend identifier.
+func (w *Wolfram) Name() string { return BackendWolfram }
+
+// Map translates a logical block to its current physical block. The
+// PRAD translates during decode, so the model charges no extra latency.
+func (w *Wolfram) Map(logical int64) int64 {
+	if logical < 0 || logical >= w.n {
+		panic(fmt.Sprintf("wear: logical block %d out of [0,%d)", logical, w.n))
+	}
+	if p, ok := w.fwd[logical]; ok {
+		return p
+	}
+	return logical
+}
+
+// set records logical -> phys, dropping identity entries so the sparse
+// tables only hold displaced blocks.
+func (w *Wolfram) set(logical, phys int64) {
+	if logical == phys {
+		delete(w.fwd, logical)
+		delete(w.inv, phys)
+		return
+	}
+	w.fwd[logical] = phys
+	w.inv[phys] = logical
+}
+
+// logicalAt returns the logical block currently mapped to a physical one.
+func (w *Wolfram) logicalAt(phys int64) int64 {
+	if l, ok := w.inv[phys]; ok {
+		return l
+	}
+	return phys
+}
+
+// Observe records one demand write; every period-th write swaps the
+// written block's physical frame with a uniformly chosen one. Swapping
+// is a transposition of the permutation, so the mapping stays bijective
+// by construction.
+func (w *Wolfram) Observe(logical int64) RemapCost {
+	w.since++
+	if w.since < w.period {
+		return RemapCost{}
+	}
+	w.since = 0
+	pa := w.Map(logical)
+	pb := int64(w.src.Uintn(uint64(w.n)))
+	if pa == pb {
+		return RemapCost{}
+	}
+	w.moves++
+	other := w.logicalAt(pb)
+	w.set(logical, pb)
+	w.set(other, pa)
+	// Both blocks' contents move to their new frames.
+	return RemapCost{CopyWrites: 2}
+}
+
+// Blocks returns the logical block count.
+func (w *Wolfram) Blocks() int64 { return w.n }
+
+// PhysBlocks returns the physical block count; WoLFRaM keeps no spare.
+func (w *Wolfram) PhysBlocks() int64 { return w.n }
+
+// Moves returns the number of swaps performed.
+func (w *Wolfram) Moves() uint64 { return w.moves }
+
+// Efficiency returns the assumed fraction of ideal leveling.
+func (w *Wolfram) Efficiency() float64 { return wolframEfficiency }

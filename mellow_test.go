@@ -50,8 +50,8 @@ func TestFacadePolicies(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if got := len(mellow.Experiments()); got != 23 {
-		t.Errorf("experiment count = %d, want 23", got)
+	if got := len(mellow.Experiments()); got != 24 {
+		t.Errorf("experiment count = %d, want 24", got)
 	}
 	if _, err := mellow.ExperimentByID("fig11"); err != nil {
 		t.Error(err)
