@@ -13,6 +13,8 @@
 //	mellowbench -exp fig11 -interval 500us   # per-epoch time series as JSON
 //	mellowbench -exp fig11 -metrics     # process metrics snapshot after the run
 //	mellowbench -exp fig11 -trace out.trace.json   # execution trace for Perfetto
+//	mellowbench -scenario-dir scenarios/          # run the declarative corpus against its goldens
+//	mellowbench -scenario-dir scenarios/ -update  # regenerate the corpus goldens
 //	mellowbench -follow job-000001 -server http://localhost:8077
 //	mellowbench -list
 //
@@ -46,10 +48,39 @@ import (
 	"time"
 
 	"mellow"
+	"mellow/internal/experiments"
 	"mellow/internal/metrics"
 	"mellow/internal/sched"
 	"mellow/internal/server"
 )
+
+// runScenarioCorpus executes every scenario under dir in sorted order,
+// comparing each result document against its committed .expected golden
+// (or regenerating the goldens with -update). One line per scenario;
+// any failure exits non-zero after the whole corpus has been attempted.
+func runScenarioCorpus(ctx context.Context, cfg mellow.Config, dir string, update bool) {
+	start := time.Now()
+	failed := 0
+	outcomes, err := experiments.RunScenarioCorpus(ctx, cfg, dir, update, func(oc experiments.ScenarioOutcome) {
+		switch {
+		case oc.Err != nil:
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL    %s: %v\n", oc.Name, oc.Err)
+		case oc.Updated:
+			fmt.Printf("updated %s (%d cells)\n", oc.Name, len(oc.Result.Cells))
+		default:
+			fmt.Printf("ok      %s (%d cells)\n", oc.Name, len(oc.Result.Cells))
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mellowbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("[%d scenarios, %d failed, %v]\n", len(outcomes), failed, time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
 
 func main() {
 	var (
@@ -67,6 +98,8 @@ func main() {
 		follow    = flag.String("follow", "", "follow a mellowd job's live event stream by id and exit (client mode)")
 		serverURL = flag.String("server", "http://localhost:8077", "mellowd base URL for -follow")
 		leveler   = flag.String("leveler", "", `wear-leveling backend: "startgap" (default), "wolfram" or "softwear"`)
+		scenDir   = flag.String("scenario-dir", "", "run every test-*.json scenario under this directory against its committed .expected golden and exit")
+		update    = flag.Bool("update", false, "with -scenario-dir: regenerate the .expected goldens instead of comparing")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -119,6 +152,11 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *scenDir != "" {
+		runScenarioCorpus(ctx, cfg, *scenDir, *update)
+		return
 	}
 
 	var todo []mellow.Experiment

@@ -6,9 +6,11 @@
 //	mellowsim -workload lbm -policy BE-Mellow+SC+WQ
 //	mellowsim -workload gups -policy Slow@1.5x+SC -banks 8 -expo 2.5
 //	mellowsim -workload stream -policy Norm -json
+//	mellowsim -scenario scenarios/policies/test-eval-stream.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +24,7 @@ func main() {
 	var (
 		workload = flag.String("workload", "stream", "workload name (see -list)")
 		traceIn  = flag.String("trace", "", "replay a textual trace file instead of a synthetic workload")
+		scenPath = flag.String("scenario", "", "run one declarative scenario file and print its result document")
 		policyNm = flag.String("policy", "BE-Mellow+SC", "write policy, e.g. Norm, Slow, B-Mellow+SC, BE-Mellow+SC+WQ")
 		instrs   = flag.Uint64("instructions", 0, "detailed instructions (0 = default 20M)")
 		warmup   = flag.Uint64("warmup", 0, "warmup instructions (0 = default 6M)")
@@ -57,6 +60,27 @@ func main() {
 	}
 	if err = cfg.Validate(); err != nil {
 		fatal(err)
+	}
+	// -scenario runs a whole declarative matrix against the flag-built
+	// base configuration and prints the deterministic result document —
+	// the same bytes mellowbench -scenario-dir pins as goldens.
+	if *scenPath != "" {
+		sc, err := mellow.LoadScenario(*scenPath)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := mellow.RunScenario(context.Background(), cfg, sc)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := res.Encode()
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := os.Stdout.Write(b); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	spec, err := mellow.ParsePolicy(*policyNm)
 	if err != nil {

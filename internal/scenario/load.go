@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Scenario files follow the paired-golden convention: test-<name>.json
+// holds the declarative scenario, test-<name>.expected next to it holds
+// the exact result bytes a run must reproduce.
+const (
+	filePrefix  = "test-"
+	fileSuffix  = ".json"
+	expectedExt = ".expected"
+)
+
+// ExpectedPath returns the committed golden path paired with a scenario
+// file: test-<name>.json → test-<name>.expected.
+func ExpectedPath(scenarioPath string) string {
+	return strings.TrimSuffix(scenarioPath, fileSuffix) + expectedExt
+}
+
+// Load reads, resolves and validates one scenario file. Decoding is
+// strict — unknown fields fail, so a typo in a data file cannot
+// silently run a different experiment than the one reviewed. Replay
+// trace paths resolve relative to the scenario file's directory.
+func Load(path string) (*Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %s: %v", path, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: %s: trailing data after the document", path)
+	}
+	if err := s.Resolve(filepath.Dir(path)); err != nil {
+		return nil, fmt.Errorf("scenario: %s: %v", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %s: %v", path, err)
+	}
+	return s.Normalize(), nil
+}
+
+// Entry is one scenario discovered by LoadDir.
+type Entry struct {
+	// Path is the scenario file; its golden lives at ExpectedPath(Path).
+	Path     string
+	Scenario *Scenario
+}
+
+// LoadDir walks root for test-*.json scenario files (any depth),
+// loading each in sorted path order — the corpus a runner executes. A
+// file's declared name must match its filename (test-<name>.json), so
+// a directory listing reads as the scenario index.
+func LoadDir(root string) ([]Entry, error) {
+	var paths []string
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(p)
+		if strings.HasPrefix(base, filePrefix) && strings.HasSuffix(base, fileSuffix) {
+			paths = append(paths, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("scenario: no %s*%s files under %s", filePrefix, fileSuffix, root)
+	}
+	sort.Strings(paths)
+	entries := make([]Entry, 0, len(paths))
+	seen := map[string]string{}
+	for _, p := range paths {
+		s, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		base := filepath.Base(p)
+		want := strings.TrimSuffix(strings.TrimPrefix(base, filePrefix), fileSuffix)
+		if s.Name != want {
+			return nil, fmt.Errorf("scenario: %s declares name %q, want %q from the filename", p, s.Name, want)
+		}
+		if prev, dup := seen[s.Name]; dup {
+			return nil, fmt.Errorf("scenario: duplicate name %q in %s and %s", s.Name, prev, p)
+		}
+		seen[s.Name] = p
+		entries = append(entries, Entry{Path: p, Scenario: s})
+	}
+	return entries, nil
+}

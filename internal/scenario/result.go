@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+
+	"mellow/internal/core"
+
+	"encoding/json"
+)
+
+// CellResult labels one simulation of the matrix.
+type CellResult struct {
+	Workload string `json:"workload"`
+	Leveler  string `json:"leveler,omitempty"`
+	Policy   string `json:"policy"`
+	// Result is the full simulation outcome. The encoding is the stdlib
+	// struct codec: deterministic field order, deterministic float
+	// formatting — equal results are equal bytes.
+	Result core.Result `json:"result"`
+}
+
+// Result is the deterministic result document of one scenario run —
+// the bytes committed as the .expected golden.
+type Result struct {
+	Scenario string `json:"scenario"`
+	// Key is the content address of (scenario, base config): runs that
+	// report the same key must report the same cells.
+	Key   string       `json:"key"`
+	Cells []CellResult `json:"cells"`
+}
+
+// Encode renders the canonical golden bytes: indented JSON with a
+// trailing newline, cells in matrix order.
+func (r *Result) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the golden bytes to path (the -update path).
+func (r *Result) WriteFile(path string) error {
+	b, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// CompareFile checks the result against the committed golden at path,
+// byte for byte. A missing golden and any divergence return an error
+// naming the first differing line, with the -update hint.
+func (r *Result) CompareFile(path string) error {
+	got, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("scenario %s: no expected file %s (run with -update to create it)", r.Scenario, path)
+		}
+		return fmt.Errorf("scenario %s: %v", r.Scenario, err)
+	}
+	if bytes.Equal(got, want) {
+		return nil
+	}
+	line, gl, wl := firstDiff(got, want)
+	return fmt.Errorf("scenario %s: result differs from %s at line %d:\n  got:  %s\n  want: %s\n(re-run with -update if the change is intended)",
+		r.Scenario, path, line, gl, wl)
+}
+
+// firstDiff locates the first differing line between two texts.
+func firstDiff(got, want []byte) (line int, gl, wl string) {
+	gs := strings.Split(string(got), "\n")
+	ws := strings.Split(string(want), "\n")
+	for i := 0; i < len(gs) || i < len(ws); i++ {
+		var g, w string
+		if i < len(gs) {
+			g = gs[i]
+		} else {
+			g = "<end of output>"
+		}
+		if i < len(ws) {
+			w = ws[i]
+		} else {
+			w = "<end of file>"
+		}
+		if g != w {
+			return i + 1, strings.TrimSpace(g), strings.TrimSpace(w)
+		}
+	}
+	return 0, "", ""
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"mellow/internal/config"
@@ -15,6 +16,7 @@ import (
 	"mellow/internal/experiments"
 	"mellow/internal/metrics"
 	"mellow/internal/policy"
+	"mellow/internal/scenario"
 	"mellow/internal/sim"
 	"mellow/internal/trace"
 )
@@ -28,7 +30,34 @@ const (
 	KindCompare = "compare"
 	// KindExperiment regenerates one paper artifact ("fig11", ...).
 	KindExperiment = "experiment"
+	// KindScenario runs one declarative scenario document (workloads ×
+	// levelers × policies under config overrides, internal/scenario).
+	KindScenario = "scenario"
 )
+
+// jobKinds is the single registry of job kinds: admission validates
+// against it and the unknown-kind error message derives from it, so the
+// two cannot drift when a kind is added.
+var jobKinds = []string{KindSim, KindCompare, KindExperiment, KindScenario}
+
+// Kinds lists the accepted job kinds in admission order.
+func Kinds() []string {
+	out := make([]string, len(jobKinds))
+	copy(out, jobKinds)
+	return out
+}
+
+// kindList renders the registry for error messages: "sim, compare,
+// experiment or scenario".
+func kindList() string {
+	switch len(jobKinds) {
+	case 0:
+		return ""
+	case 1:
+		return jobKinds[0]
+	}
+	return strings.Join(jobKinds[:len(jobKinds)-1], ", ") + " or " + jobKinds[len(jobKinds)-1]
+}
 
 // JobRequest is the body of POST /v1/jobs. Every field except the kind
 // discriminator and its operands is optional; unset run parameters take
@@ -46,6 +75,11 @@ type JobRequest struct {
 	Policies []string `json:"policies,omitempty"`
 	// Experiment is the artifact id for kind "experiment".
 	Experiment string `json:"experiment,omitempty"`
+	// Scenario is the declarative document for kind "scenario". Replay
+	// workloads must be content-inlined (Spec.Data): the server resolves
+	// no file paths, so a request replays identically from the write-
+	// ahead log.
+	Scenario *scenario.Scenario `json:"scenario,omitempty"`
 	// Config replaces the server's base configuration wholesale.
 	Config *config.Config `json:"config,omitempty"`
 	// Seed, Warmup and Detailed override individual run parameters of
@@ -131,14 +165,15 @@ func validateInterval(ns uint64) error {
 // request. Its canonical JSON is hashed into the content address, so
 // two requests that mean the same work share one key.
 type canonicalJob struct {
-	Kind       string        `json:"kind"`
-	Config     config.Config `json:"config"`
-	Workloads  []string      `json:"workloads"`
-	Policies   []string      `json:"policies,omitempty"`
-	Experiment string        `json:"experiment,omitempty"`
-	IntervalNS uint64        `json:"interval_ns,omitempty"`
-	Metrics    bool          `json:"metrics,omitempty"`
-	Trace      bool          `json:"trace,omitempty"`
+	Kind       string             `json:"kind"`
+	Config     config.Config      `json:"config"`
+	Workloads  []string           `json:"workloads"`
+	Policies   []string           `json:"policies,omitempty"`
+	Experiment string             `json:"experiment,omitempty"`
+	Scenario   *scenario.Scenario `json:"scenario,omitempty"`
+	IntervalNS uint64             `json:"interval_ns,omitempty"`
+	Metrics    bool               `json:"metrics,omitempty"`
+	Trace      bool               `json:"trace,omitempty"`
 }
 
 // normalize resolves a request against the base configuration,
@@ -171,7 +206,9 @@ func normalize(req JobRequest, base config.Config) (canonicalJob, string, error)
 		return c, "", err
 	}
 	c.IntervalNS = req.IntervalNS
-	if c.Kind != KindExperiment {
+	// Experiment artifacts are rendered reports and scenario results are
+	// golden documents: neither embeds per-run metrics snapshots.
+	if c.Kind != KindExperiment && c.Kind != KindScenario {
 		c.Metrics = req.Metrics
 	}
 	c.Trace = req.Trace
@@ -213,8 +250,34 @@ func normalize(req JobRequest, base config.Config) (canonicalJob, string, error)
 		if len(c.Workloads) == 0 {
 			c.Workloads = trace.Names()
 		}
+	case KindScenario:
+		if req.Scenario == nil {
+			return c, "", fmt.Errorf("scenario job needs a scenario document")
+		}
+		if req.Workload != "" || len(req.Workloads) > 0 || req.Policy != "" ||
+			len(req.Policies) > 0 || req.Experiment != "" {
+			return c, "", fmt.Errorf("scenario job takes its matrix from the scenario document only")
+		}
+		// The corpus contract is byte-stable golden documents; observers
+		// that would grow the payload (series) or attach timelines are not
+		// part of it.
+		if req.IntervalNS != 0 {
+			return c, "", fmt.Errorf("scenario job does not support interval_ns")
+		}
+		if req.Trace {
+			return c, "", fmt.Errorf("scenario job does not support trace")
+		}
+		if err := req.Scenario.Validate(); err != nil {
+			return c, "", err
+		}
+		// The effective config must be buildable at admission, not at run
+		// time: a bad override fails the request, never a queued job.
+		if _, err := req.Scenario.EffectiveConfig(c.Config); err != nil {
+			return c, "", err
+		}
+		c.Scenario = req.Scenario.Normalize()
 	default:
-		return c, "", fmt.Errorf("unknown job kind %q (want sim, compare or experiment)", c.Kind)
+		return c, "", fmt.Errorf("unknown job kind %q (want %s)", c.Kind, kindList())
 	}
 
 	for _, w := range c.Workloads {
@@ -310,6 +373,9 @@ type JobResult struct {
 	Metrics []*metrics.Snapshot `json:"metrics,omitempty"`
 	// Report holds an experiment job's rendered artifact.
 	Report *ExperimentReport `json:"report,omitempty"`
+	// Scenario holds a scenario job's result document — the same bytes
+	// `mellowbench -scenario-dir` pins against the committed goldens.
+	Scenario *scenario.Result `json:"scenario,omitempty"`
 }
 
 // ExperimentReport is the machine-readable rendering of one paper

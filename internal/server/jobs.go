@@ -391,6 +391,16 @@ func runJob(ctx context.Context, js *jobState) (*JobResult, error) {
 		sortSeriesRecords(records)
 		out.Report = &ExperimentReport{ID: e.ID, Title: e.Title, Output: buf.String(), Series: records}
 		js.spans.Span("render", "job", renderStart, time.Now())
+	case KindScenario:
+		// The scenario document was validated and normalized at admission;
+		// its matrix fans out through the same memoised sched-governed path
+		// as every other kind, and the cells land in matrix order — the
+		// result document is the byte-stable golden form.
+		res, err := experiments.RunScenario(ctx, canon.Config, canon.Scenario, js.progress.set)
+		if err != nil {
+			return nil, err
+		}
+		out.Scenario = res
 	}
 	return out, nil
 }

@@ -3,8 +3,6 @@ package trace
 import (
 	"fmt"
 	"sort"
-
-	"mellow/internal/rng"
 )
 
 // Workload names one synthetic benchmark and its Table IV calibration
@@ -17,99 +15,72 @@ type Workload struct {
 	TargetMPKI float64
 	// New builds a fresh generator seeded deterministically.
 	New func(seed uint64) Generator
+	// Spec is the declarative parameterization this workload was built
+	// from (normalized), nil for workloads constructed directly from a
+	// reader. Shared: callers must not modify it.
+	Spec *Spec
 }
 
 // MB is a byte-count helper for workload definitions.
 const MB = 1 << 20
 
-func mkStream(gapMean float64, nRead, nWrite int, arrayBytes uint64,
-	hotBytes uint64, pHot, hotWriteProb float64) func(uint64) Generator {
-	return func(seed uint64) Generator {
-		src := rng.New(seed)
-		lay := newLayout()
-		s := &stream{src: src, gap: gapper{src: src.Branch(1), mean: gapMean}}
-		for i := 0; i < nRead; i++ {
-			s.reads = append(s.reads, lay.alloc(arrayBytes))
-		}
-		for i := 0; i < nWrite; i++ {
-			s.writes = append(s.writes, lay.alloc(arrayBytes))
-		}
-		if hotBytes > 0 {
-			s.hot = newHotSet(src.Branch(2), lay.alloc(hotBytes), 0.7, hotWriteProb)
-			s.pHot = pHot
-		}
-		return s
-	}
-}
-
-func mkRandom(gapMean float64, regionBytes uint64, dep, rmw bool, wProb float64,
-	hotBytes uint64, pHot, hotWriteProb float64) func(uint64) Generator {
-	return func(seed uint64) Generator {
-		src := rng.New(seed)
-		lay := newLayout()
-		r := &random{
-			src: src, gap: gapper{src: src.Branch(1), mean: gapMean},
-			reg: lay.alloc(regionBytes), dep: dep, rmw: rmw, wProb: wProb,
-		}
-		if hotBytes > 0 {
-			r.hot = newHotSet(src.Branch(2), lay.alloc(hotBytes), 0.7, hotWriteProb)
-			r.pHot = pHot
-		}
-		return r
-	}
-}
-
-func mkHotOnly(gapMean float64, hotBytes uint64, theta, wProb float64) func(uint64) Generator {
-	return func(seed uint64) Generator {
-		src := rng.New(seed)
-		lay := newLayout()
-		return &random{
-			src: src, gap: gapper{src: src.Branch(1), mean: gapMean},
-			reg:  lay.alloc(64 * MB), // cold leak region
-			pHot: 0.995,
-			hot: &hotSet{
-				src:       src.Branch(2),
-				reg:       lay.alloc(hotBytes),
-				zipf:      rng.NewZipf(src.Branch(3), hotBytes/64, theta),
-				writeProb: wProb,
-			},
-		}
-	}
-}
-
-// workloads defines the 11-benchmark suite. Gap means were derived from
-// the closed-form MPKI model in DESIGN.md §4 and then adjusted against
-// the measured MPKI of the real hierarchy (TestMPKICalibration).
-var workloads = []Workload{
+// builtins defines the 11-benchmark suite as declarative specs. Gap
+// means were derived from the closed-form MPKI model in DESIGN.md §4 and
+// then adjusted against the measured MPKI of the real hierarchy
+// (TestMPKICalibration). The specs are pinned byte-identical to the
+// original Go closures by the equivalence tests.
+var builtins = []struct {
+	name string
+	mpki float64
+	spec Spec
+}{
 	// stream: the classic triad — two read arrays, one write array,
 	// pure streaming, no reuse.
-	{"stream", 12.28, mkStream(9.0, 2, 1, 32*MB, 0, 0, 0)},
+	{"stream", 12.28, Spec{Kind: KindStream, GapMean: 9.0, ReadArrays: 2, WriteArrays: 1, ArrayBytes: 32 * MB}},
 	// lbm: streaming fluid solver, unusually write-heavy traffic.
-	{"lbm", 31.72, mkStream(3.0, 2, 2, 48*MB, 0, 0, 0)},
+	{"lbm", 31.72, Spec{Kind: KindStream, GapMean: 3.0, ReadArrays: 2, WriteArrays: 2, ArrayBytes: 48 * MB}},
 	// libquantum: one large amplitude array streamed with conditional
 	// updates — modelled as one read + one write sweep of the same-sized
 	// arrays (high write share, streaming rows).
-	{"libquantum", 30.12, mkStream(3.15, 1, 1, 64*MB, 0, 0, 0)},
+	{"libquantum", 30.12, Spec{Kind: KindStream, GapMean: 3.15, ReadArrays: 1, WriteArrays: 1, ArrayBytes: 64 * MB}},
 	// milc: lattice QCD, streaming reads over several large fields with
 	// occasional writes.
-	{"milc", 19.49, mkStream(5.4, 3, 1, 32*MB, 0, 0, 0)},
+	{"milc", 19.49, Spec{Kind: KindStream, GapMean: 5.4, ReadArrays: 3, WriteArrays: 1, ArrayBytes: 32 * MB}},
 	// mcf: pointer-chasing over a large graph; reads serialise, a
 	// quarter of the visited nodes are updated in place.
-	{"mcf", 56.34, mkRandom(16.5, 384*MB, true, true, 0.25, 0, 0, 0)},
+	{"mcf", 56.34, Spec{Kind: KindRandom, GapMean: 16.5, RegionBytes: 384 * MB, Dep: true, RMW: true, WriteProb: 0.25}},
 	// gups: random read-modify-write updates over a 1 GB table.
-	{"gups", 8.91, mkRandom(110, 1024*MB, false, true, 1.0, 0, 0, 0)},
+	{"gups", 8.91, Spec{Kind: KindRandom, GapMean: 110, RegionBytes: 1024 * MB, RMW: true, WriteProb: 1.0}},
 	// leslie3d: strided stencil with a modest resident set.
-	{"leslie3d", 5.95, mkStream(22.4, 4, 2, 12*MB, 1*MB, 0.20, 0.3)},
+	{"leslie3d", 5.95, Spec{Kind: KindStream, GapMean: 22.4, ReadArrays: 4, WriteArrays: 2, ArrayBytes: 12 * MB,
+		HotBytes: 1 * MB, HotProb: 0.20, HotTheta: 0.7, HotWriteProb: 0.3}},
 	// GemsFDTD: larger stencil over many field arrays.
-	{"GemsFDTD", 15.34, mkStream(7.8, 6, 3, 24*MB, 1*MB, 0.10, 0.3)},
+	{"GemsFDTD", 15.34, Spec{Kind: KindStream, GapMean: 7.8, ReadArrays: 6, WriteArrays: 3, ArrayBytes: 24 * MB,
+		HotBytes: 1 * MB, HotProb: 0.10, HotTheta: 0.7, HotWriteProb: 0.3}},
 	// zeusmp: stencil with strong reuse.
-	{"zeusmp", 4.53, mkStream(27.9, 3, 2, 8*MB, 1*MB, 0.30, 0.3)},
+	{"zeusmp", 4.53, Spec{Kind: KindStream, GapMean: 27.9, ReadArrays: 3, WriteArrays: 2, ArrayBytes: 8 * MB,
+		HotBytes: 1 * MB, HotProb: 0.30, HotTheta: 0.7, HotWriteProb: 0.3}},
 	// bwaves: blocked solver, read-dominated.
-	{"bwaves", 5.58, mkStream(25.2, 4, 1, 16*MB, 1*MB, 0.15, 0.2)},
+	{"bwaves", 5.58, Spec{Kind: KindStream, GapMean: 25.2, ReadArrays: 4, WriteArrays: 1, ArrayBytes: 16 * MB,
+		HotBytes: 1 * MB, HotProb: 0.15, HotTheta: 0.7, HotWriteProb: 0.2}},
 	// hmmer: mostly cache-resident, store-heavy; misses come from a
 	// slightly-larger-than-LLC hot set plus a small cold leak.
-	{"hmmer", 1.34, mkHotOnly(2.5, 1*MB, 0.8, 0.45)},
+	{"hmmer", 1.34, Spec{Kind: KindHotOnly, GapMean: 2.5, RegionBytes: 64 * MB,
+		HotBytes: 1 * MB, HotProb: 0.995, HotTheta: 0.8, HotWriteProb: 0.45}},
 }
+
+// workloads is the runnable suite, built once from the spec table.
+var workloads = func() []Workload {
+	out := make([]Workload, len(builtins))
+	for i, b := range builtins {
+		w, err := b.spec.Workload(b.name, b.mpki)
+		if err != nil {
+			panic(fmt.Sprintf("trace: builtin workload %q: %v", b.name, err))
+		}
+		out[i] = w
+	}
+	return out
+}()
 
 // All returns the benchmark suite in the paper's table order.
 func All() []Workload {
@@ -138,4 +109,13 @@ func ByName(name string) (Workload, error) {
 	sorted := Names()
 	sort.Strings(sorted)
 	return Workload{}, fmt.Errorf("trace: unknown workload %q (have %v)", name, sorted)
+}
+
+// SpecByName returns the declarative spec of a builtin workload.
+func SpecByName(name string) (Spec, error) {
+	w, err := ByName(name)
+	if err != nil {
+		return Spec{}, err
+	}
+	return *w.Spec, nil
 }

@@ -10,6 +10,7 @@ import (
 	"mellow/internal/experiments"
 	"mellow/internal/nvm"
 	"mellow/internal/policy"
+	"mellow/internal/scenario"
 	"mellow/internal/sim"
 	"mellow/internal/trace"
 	"mellow/internal/xtrace"
@@ -181,4 +182,31 @@ func RunExperimentContext(ctx context.Context, id string, cfg Config, out io.Wri
 		return err
 	}
 	return e.Run(experiments.Options{Ctx: ctx, Cfg: cfg, Out: out, Workloads: workloads})
+}
+
+// WorkloadSpec is the declarative form of a workload generator: the
+// parameterization of a Table IV benchmark (or a replayed trace) as
+// plain, content-addressable data.
+type WorkloadSpec = trace.Spec
+
+// WorkloadSpecByName returns the declarative spec of a builtin
+// workload.
+func WorkloadSpecByName(name string) (WorkloadSpec, error) { return trace.SpecByName(name) }
+
+// Scenario is one declarative experiment document: workload specs ×
+// policy/leveler matrices × config overrides, with a committed expected
+// result (see internal/scenario and the scenarios/ corpus).
+type Scenario = scenario.Scenario
+
+// ScenarioResult is a scenario run's deterministic result document —
+// the bytes pinned by the committed .expected goldens.
+type ScenarioResult = scenario.Result
+
+// LoadScenario reads, resolves and validates one scenario file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// RunScenario executes a scenario against the base configuration,
+// fanning its matrix out through the memoised simulation path.
+func RunScenario(ctx context.Context, base Config, sc *Scenario) (*ScenarioResult, error) {
+	return experiments.RunScenario(ctx, base, sc, nil)
 }

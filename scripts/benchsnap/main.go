@@ -19,6 +19,22 @@
 // and only fails past the looser -ns-threshold, catching catastrophic
 // slowdowns without flaking on shared hardware. CI runs the compare as
 // a blocking gate.
+//
+// Manifest mode gates every committed snapshot uniformly:
+//
+//	go run ./scripts/benchsnap -manifest benchsnap.manifest.json
+//	go run ./scripts/benchsnap -manifest benchsnap.manifest.json -readme README.md         # rewrite the perf table
+//	go run ./scripts/benchsnap -manifest benchsnap.manifest.json -readme README.md -check  # fail if the table is stale
+//
+// The manifest lists each committed BENCH_*.json with its capture
+// settings (bench regexp, package, benchtime, count) and whether it
+// gates CI; entries with identical settings share one capture, so the
+// whole manifest costs as many benchmark runs as it has distinct
+// configurations. Ungated entries (historical trajectory points such
+// as the pre-optimisation baseline) are kept only for the README
+// table, which -readme regenerates between the
+// "<!-- benchsnap:begin -->" / "<!-- benchsnap:end -->" markers from
+// the committed snapshot files — no benchmarks run for the table.
 package main
 
 import (
@@ -27,6 +43,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -67,8 +84,20 @@ func main() {
 		compare     = flag.String("compare", "", "baseline snapshot to compare against; exit 2 on regression")
 		threshold   = flag.Float64("threshold", 0.10, "relative allocs/op regression tolerated before exit 2")
 		nsThreshold = flag.Float64("ns-threshold", 0.60, "relative ns/op regression tolerated before exit 2 (loose: wall time is noisy on shared runners)")
+		manifest    = flag.String("manifest", "", "gate every snapshot listed in this manifest (shared captures, uniform thresholds)")
+		readme      = flag.String("readme", "", "with -manifest: rewrite the perf-trajectory table between the benchsnap markers in this file")
+		check       = flag.Bool("check", false, "with -readme: compare instead of rewriting; exit 2 if the table is stale")
 	)
 	flag.Parse()
+
+	if *manifest != "" {
+		code, err := runManifest(*manifest, *readme, *check, *threshold, *nsThreshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	}
 
 	snap, err := capture(*bench, *count, *benchtime, *pkg)
 	if err != nil {
@@ -225,4 +254,185 @@ func diff(base, cur Snapshot, allocThreshold, nsThreshold float64) bool {
 		fmt.Printf("benchsnap: regression beyond threshold (allocs >%.0f%% or ns >%.0f%%) — investigate or regenerate the baseline with -o\n", 100*allocThreshold, 100*nsThreshold)
 	}
 	return regressed
+}
+
+// ManifestEntry describes one committed snapshot: where it lives, how
+// to reproduce its capture, and whether it gates CI. Ungated entries
+// are historical trajectory points kept for the README table only.
+type ManifestEntry struct {
+	// File is the committed snapshot path, relative to the manifest.
+	File string `json:"file"`
+	// Label names the trajectory point in the README table.
+	Label string `json:"label"`
+	// Bench, Pkg, Benchtime and Count reproduce the capture; entries
+	// with identical settings share one benchmark run.
+	Bench     string `json:"bench"`
+	Pkg       string `json:"pkg"`
+	Benchtime string `json:"benchtime"`
+	Count     int    `json:"count"`
+	// Gate marks the entry as a blocking CI comparison.
+	Gate bool `json:"gate"`
+}
+
+// Manifest is the benchsnap.manifest.json format.
+type Manifest struct {
+	Snapshots []ManifestEntry `json:"snapshots"`
+}
+
+// captureKey identifies a capture configuration so manifest entries
+// with identical settings share one `go test -bench` invocation.
+type captureKey struct {
+	bench, pkg, benchtime string
+	count                 int
+}
+
+// runManifest gates every entry of the manifest uniformly and, when
+// readme is set, regenerates (or with check verifies) the perf table.
+// Returns the process exit code: 2 on regression or a stale table.
+func runManifest(path, readme string, check bool, allocThreshold, nsThreshold float64) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var m Manifest
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return 0, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(m.Snapshots) == 0 {
+		return 0, fmt.Errorf("%s: no snapshots", path)
+	}
+	dir := filepath.Dir(path)
+
+	code := 0
+	captures := map[captureKey]Snapshot{}
+	for _, e := range m.Snapshots {
+		if !e.Gate {
+			continue
+		}
+		key := captureKey{e.Bench, e.Pkg, e.Benchtime, e.Count}
+		cur, ok := captures[key]
+		if !ok {
+			fmt.Printf("=== capture %s (pkg %s, benchtime %s, count %d)\n", e.Bench, e.Pkg, e.Benchtime, e.Count)
+			cur, err = capture(e.Bench, e.Count, e.Benchtime, e.Pkg)
+			if err != nil {
+				return 0, err
+			}
+			captures[key] = cur
+		}
+		baseRaw, err := os.ReadFile(filepath.Join(dir, e.File))
+		if err != nil {
+			return 0, err
+		}
+		var base Snapshot
+		if err := json.Unmarshal(baseRaw, &base); err != nil {
+			return 0, fmt.Errorf("%s: %v", e.File, err)
+		}
+		fmt.Printf("=== compare %s (%s)\n", e.File, e.Label)
+		if diff(base, cur, allocThreshold, nsThreshold) {
+			code = 2
+		}
+	}
+
+	if readme != "" {
+		stale, err := updateReadme(readme, dir, m, check)
+		if err != nil {
+			return 0, err
+		}
+		if stale {
+			code = 2
+		}
+	}
+	return code, nil
+}
+
+// Markers bracket the generated perf-trajectory table in the README.
+const (
+	tableBegin = "<!-- benchsnap:begin -->"
+	tableEnd   = "<!-- benchsnap:end -->"
+)
+
+// updateReadme regenerates the perf table between the markers from the
+// committed snapshot files (no benchmarks run). With check it only
+// compares and reports staleness.
+func updateReadme(readmePath, dir string, m Manifest, check bool) (stale bool, err error) {
+	doc, err := os.ReadFile(readmePath)
+	if err != nil {
+		return false, err
+	}
+	text := string(doc)
+	begin := strings.Index(text, tableBegin)
+	end := strings.Index(text, tableEnd)
+	if begin < 0 || end < 0 || end < begin {
+		return false, fmt.Errorf("%s: missing %s / %s markers", readmePath, tableBegin, tableEnd)
+	}
+	table, err := perfTable(dir, m)
+	if err != nil {
+		return false, err
+	}
+	next := text[:begin+len(tableBegin)] + "\n" + table + text[end:]
+	if next == text {
+		return false, nil
+	}
+	if check {
+		fmt.Printf("benchsnap: %s perf table is stale — regenerate with -manifest ... -readme %s\n", readmePath, readmePath)
+		return true, nil
+	}
+	if err := os.WriteFile(readmePath, []byte(next), 0o644); err != nil {
+		return false, err
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: rewrote perf table in %s\n", readmePath)
+	return false, nil
+}
+
+// perfTable renders one markdown row per benchmark of each manifest
+// entry, in manifest order — the project's performance trajectory.
+func perfTable(dir string, m Manifest) (string, error) {
+	var b strings.Builder
+	b.WriteString("| snapshot | benchmark | ns/op | allocs/op | B/op | Minstr/s |\n")
+	b.WriteString("|---|---|---:|---:|---:|---:|\n")
+	for _, e := range m.Snapshots {
+		raw, err := os.ReadFile(filepath.Join(dir, e.File))
+		if err != nil {
+			return "", err
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return "", fmt.Errorf("%s: %v", e.File, err)
+		}
+		names := make([]string, 0, len(snap.Benchmarks))
+		for name := range snap.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bench := snap.Benchmarks[name]
+			mips := "—"
+			if bench.InstrsPerSec > 0 {
+				mips = fmt.Sprintf("%.1f", bench.InstrsPerSec/1e6)
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n",
+				e.Label, strings.TrimPrefix(name, "Benchmark"),
+				group(bench.NsPerOp), group(bench.Units["allocs/op"]), group(bench.Units["B/op"]), mips)
+		}
+	}
+	return b.String(), nil
+}
+
+// group renders a count with thousands separators ("1,234,567"); small
+// non-integers keep two decimals.
+func group(v float64) string {
+	if v != float64(int64(v)) && v < 1000 {
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	}
+	s := strconv.FormatInt(int64(v), 10)
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
 }

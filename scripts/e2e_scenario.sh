@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# End-to-end scenario-corpus test against real binaries: build mellowd,
+# mellowbench and mellowsim, gate the committed corpus goldens through
+# the mellowbench runner, replay one scenario through mellowsim and
+# require byte-identity with its committed .expected, then submit the
+# same document to a live mellowd and check the service agrees on the
+# scenario's content address — three binaries, one deterministic
+# result.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+go build -o /tmp/mellowd ./cmd/mellowd
+go build -o /tmp/mellowbench ./cmd/mellowbench
+go build -o /tmp/mellowsim ./cmd/mellowsim
+
+# The whole corpus, twice: the acceptance bar is two consecutive
+# bit-identical passes against the committed goldens.
+/tmp/mellowbench -scenario-dir scenarios/
+/tmp/mellowbench -scenario-dir scenarios/
+
+# One scenario through the single-run binary: mellowsim's default flags
+# rebuild the same base configuration mellowbench uses, so its result
+# document must equal the committed golden byte for byte.
+SCEN_FILE=scenarios/sensitivity/test-banks-4.json
+GOLDEN=${SCEN_FILE%.json}.expected
+/tmp/mellowsim -scenario "$SCEN_FILE" >/tmp/mellow_e2e_scen_sim.json
+cmp "$GOLDEN" /tmp/mellow_e2e_scen_sim.json || {
+  echo "mellowsim -scenario differs from the committed golden" >&2
+  exit 1
+}
+
+# The same document through the service. The scenario result embeds its
+# run key (scenario content + base config); the daemon's default base
+# must agree with the CLI's, so the key in the serving path matches the
+# committed golden's.
+ADDR=127.0.0.1:8079
+BASE=http://$ADDR
+/tmp/mellowd -addr "$ADDR" -workers 2 -sim-budget 2 &
+DAEMON=$!
+trap 'kill $DAEMON 2>/dev/null || true; wait $DAEMON 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+BODY=$(printf '{"kind":"scenario","scenario":%s}' "$(cat "$SCEN_FILE")")
+sub=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$BODY" "$BASE/v1/jobs")
+id=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$sub")
+key=$(sed -n 's/.*"key":"\([0-9a-f]\{64\}\)".*/\1/p' <<<"$sub")
+[ -n "$id" ] && [ -n "$key" ] || { echo "bad scenario submit response: $sub" >&2; exit 1; }
+for _ in $(seq 1 600); do
+  st=$(curl -fsS "$BASE/v1/jobs/$id")
+  case $st in
+    *'"state":"done"'*) break ;;
+    *'"state":"failed"'*) echo "scenario job failed: $st" >&2; exit 1 ;;
+  esac
+  sleep 0.5
+done
+curl -fsS "$BASE/v1/results/$key" >/tmp/mellow_e2e_scen_srv.json
+
+golden_key=$(sed -n 's/.*"key": "\([0-9a-f]\{64\}\)".*/\1/p' "$GOLDEN" | head -1)
+grep -q "\"key\":\"$golden_key\"" /tmp/mellow_e2e_scen_srv.json || {
+  echo "service scenario run key differs from the committed golden's ($golden_key)" >&2
+  exit 1
+}
+
+echo "e2e scenario OK: corpus green twice, mellowsim byte-identical to golden, service agrees on run key $golden_key"

@@ -161,6 +161,42 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
   -H 'Content-Type: application/json' -d "$BATCH" "$BASE/v1/jobs:batch")
 [ "$code" = 200 ] || { echo "repeat batch not 200 (got $code)" >&2; exit 1; }
 
+# ---- scenario jobs: declarative documents through the same pipeline ----
+# A scenario job carries its whole matrix in the document; the server
+# rejects matrix fields on the request itself, and a scenario with
+# interval_ns is refused so golden documents stay byte-stable.
+SCEN='{"kind":"scenario","scenario":{"name":"e2e-smoke","workloads":[{"name":"gups"}],"policies":["Norm","BE-Mellow+SC"],"overrides":{"seed":7,"llc_bytes":262144,"warmup_instructions":100000,"detailed_instructions":200000}}}'
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d "${SCEN%\}}, \"interval_ns\": 500000}" "$BASE/v1/jobs")
+[ "$code" = 400 ] || { echo "scenario with interval_ns not rejected (got $code)" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d "${SCEN%\}}, \"policy\": \"Norm\"}" "$BASE/v1/jobs")
+[ "$code" = 400 ] || { echo "scenario with request-level policy not rejected (got $code)" >&2; exit 1; }
+
+sub=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$SCEN" "$BASE/v1/jobs")
+sid=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$sub")
+skey=$(sed -n 's/.*"key":"\([0-9a-f]\{64\}\)".*/\1/p' <<<"$sub")
+[ -n "$sid" ] && [ -n "$skey" ] || { echo "bad scenario submit response: $sub" >&2; exit 1; }
+for _ in $(seq 1 600); do
+  st=$(curl -fsS "$BASE/v1/jobs/$sid")
+  case $st in
+    *'"state":"done"'*) break ;;
+    *'"state":"failed"'*) echo "scenario job failed: $st" >&2; exit 1 ;;
+  esac
+  sleep 0.5
+done
+curl -fsS "$BASE/v1/results/$skey" >/tmp/mellow_e2e_scenario.json
+grep -q '"scenario"' /tmp/mellow_e2e_scenario.json || {
+  echo "scenario result carries no scenario document" >&2
+  exit 1
+}
+# Same document again: answered from the cache, same content address.
+# (The cached answer is the full JobResult, which also embeds the
+# scenario's run key — take the first, outer key.)
+sub2=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$SCEN" "$BASE/v1/jobs")
+skey2=$(grep -o '"key":"[0-9a-f]\{64\}"' <<<"$sub2" | head -1 | cut -d'"' -f4)
+[ "$skey" = "$skey2" ] || { echo "scenario resubmit changed key: $skey vs $skey2" >&2; exit 1; }
+
 # A clean SIGTERM drain finishes everything and compacts the log to
 # empty — the next boot has nothing to replay.
 stop_daemon
